@@ -1,0 +1,27 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``bench_f*.py`` regenerates one of the paper's evaluation figures:
+it computes the figure's rows, prints them, writes them to
+``benchmarks/results/`` so they survive pytest's output capture, and
+asserts the *shape* claims the paper makes (orderings, growth, ranges).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+FLIT_WIDTHS = (16, 32, 64, 128)
+
+
+def emit(figure: str, lines: Iterable[str]) -> str:
+    """Print a figure's rows and persist them under results/."""
+    text = "\n".join(lines)
+    print(f"\n{text}\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{figure}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+    return text

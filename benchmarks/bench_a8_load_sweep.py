@@ -1,0 +1,67 @@
+"""Ablation A8 -- the canonical latency-vs-offered-load curve.
+
+The standard NoC characterization: inject uniform random traffic at
+increasing rates and watch latency stay flat until queueing sets in,
+then diverge at saturation.  Uses the warmed-up measurement methodology
+of :mod:`repro.network.experiments`.
+
+Shape claims: latency is flat within ~1.5x of zero-load through the
+low-load region; accepted throughput tracks offered load before
+saturation and plateaus after (masters are closed-loop with bounded
+outstanding transactions, so the plateau -- not unbounded latency --
+marks saturation); the mesh's plateau sits above the ring's (more
+bisection links for the same cores).
+"""
+
+from _common import emit
+
+from repro.network.experiments import load_sweep, render_sweep, saturation_rate
+from repro.network.noc import Noc
+from repro.network.topology import attach_round_robin, mesh, ring
+
+RATES = (0.01, 0.03, 0.06, 0.1, 0.15, 0.2, 0.3)
+
+
+def builder(factory, *args):
+    def build():
+        topo = factory(*args)
+        attach_round_robin(topo, 4, 4)
+        return Noc(topo)
+
+    return build
+
+
+def sweep_rows():
+    mesh_pts = load_sweep(builder(mesh, 3, 3), RATES, seed=3)
+    ring_pts = load_sweep(builder(ring, 4), RATES, seed=3)
+    rows = [render_sweep(mesh_pts, "A8a: 3x3 mesh, 4 CPUs + 4 memories")]
+    rows.append("")
+    rows.append(render_sweep(ring_pts, "A8b: ring-4, same cores"))
+    mesh_sat = saturation_rate(mesh_pts)
+    ring_sat = saturation_rate(ring_pts)
+    rows.append("")
+    rows.append(
+        f"saturation (3x zero-load latency): mesh {mesh_sat}, ring {ring_sat}"
+    )
+    return rows, mesh_pts, ring_pts
+
+
+def check_shape(mesh_pts, ring_pts):
+    # Flat low-load region.
+    assert mesh_pts[1].mean_latency < 1.5 * mesh_pts[0].mean_latency
+    # Accepted throughput grows with offered load pre-saturation.
+    assert mesh_pts[2].accepted_rate > 1.5 * mesh_pts[0].accepted_rate
+    # Queueing delay is visible at high load...
+    assert mesh_pts[-1].mean_latency > 1.3 * mesh_pts[0].mean_latency
+    # ...and accepted throughput plateaus: offered load rose 50% over
+    # the last two points while throughput stayed within 10%.
+    assert mesh_pts[-1].accepted_rate < mesh_pts[-3].accepted_rate * 1.1
+    assert ring_pts[-1].accepted_rate < ring_pts[-3].accepted_rate * 1.1
+    # The mesh's saturation plateau sits above the ring's.
+    assert mesh_pts[-1].accepted_rate > 1.05 * ring_pts[-1].accepted_rate
+
+
+def test_a8_load_sweep(benchmark):
+    rows, mesh_pts, ring_pts = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    emit("a8_load_sweep", rows)
+    check_shape(mesh_pts, ring_pts)

@@ -1,0 +1,49 @@
+"""S1 -- simulator performance: cycles/second and flit-hops/second.
+
+Not a paper figure, but a property any adopter of the library will ask
+about: how fast does the cycle-accurate simulation view run?  This
+bench times a loaded 3x3 mesh and reports simulation throughput, and
+it is the one benchmark here where pytest-benchmark's timing statistics
+are the product rather than a by-product.
+"""
+
+from _common import emit
+
+from repro.network.noc import Noc
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import UniformRandomTraffic
+
+CYCLES = 2000
+
+
+def build():
+    topo = mesh(3, 3)
+    cpus, mems = attach_round_robin(topo, 4, 4)
+    noc = Noc(topo)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, 0.1, seed=i) for i, c in enumerate(cpus)},
+    )
+    return noc
+
+
+def test_s1_simulator_speed(benchmark):
+    def run_once():
+        noc = build()
+        noc.run(CYCLES)
+        return noc
+
+    noc = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    mean_s = benchmark.stats.stats.mean
+    cps = CYCLES / mean_s
+    fps = noc.total_flits_carried() / mean_s
+    rows = [
+        "S1: simulation throughput (3x3 mesh, 8 cores, rate 0.1)",
+        f"cycles simulated      : {CYCLES}",
+        f"wall time per run     : {mean_s:.3f} s",
+        f"cycles per second     : {cps:,.0f}",
+        f"flit-hops per second  : {fps:,.0f}",
+        f"flits carried per run : {noc.total_flits_carried()}",
+    ]
+    emit("s1_simulator_speed", rows)
+    assert cps > 1000, "the simulator must manage >1k cycles/s on this mesh"
+    assert noc.total_completed() > 0

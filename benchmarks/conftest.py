@@ -1,0 +1,13 @@
+"""Make the benchmarks directory (and the repo root) importable.
+
+``_common`` lives beside the benches; ``tests.harness`` provides shared
+protocol rigs.  Plain ``pytest benchmarks/`` (unlike ``python -m
+pytest``) does not put the repo root on sys.path, so do both here.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.dirname(_HERE))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Bus vs NoC: the paper's motivation, measured.
+
+Runs identical OCP masters and memory slaves on an AHB-like shared bus
+and on a 3x3 xpipes mesh, sweeping the number of masters, and prints
+mean latency plus bus utilization -- the scalability argument of the
+paper's motivation section as an experiment.
+"""
+
+from repro.bus import SharedBus
+from repro.network import Noc, UniformRandomTraffic, mesh
+from repro.network.topology import attach_round_robin
+
+RATE = 0.04
+TXNS = 50
+MEMS = ["mem0", "mem1", "mem2", "mem3"]
+
+
+def run_bus(n_masters: int):
+    masters = [f"cpu{i}" for i in range(n_masters)]
+    bus = SharedBus(masters, MEMS)
+    bus.populate(
+        {m: UniformRandomTraffic(MEMS, RATE, seed=7 + i)
+         for i, m in enumerate(masters)},
+        max_transactions=TXNS,
+    )
+    bus.run_until_drained(max_cycles=5_000_000)
+    return bus.aggregate_latency().mean(), bus.utilization()
+
+
+def run_noc(n_masters: int):
+    topo = mesh(3, 3)
+    cpus, mems = attach_round_robin(topo, n_masters, len(MEMS))
+    noc = Noc(topo)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, RATE, seed=7 + i)
+         for i, c in enumerate(cpus)},
+        max_transactions=TXNS,
+    )
+    noc.run_until_drained(max_cycles=5_000_000)
+    return noc.aggregate_latency().mean()
+
+
+def main() -> None:
+    print(f"per-master injection rate {RATE}, {TXNS} transactions each\n")
+    print(f"{'masters':>8} {'bus latency':>12} {'bus util':>9} {'NoC latency':>12}")
+    for n in (1, 2, 4, 8, 12):
+        bus_lat, util = run_bus(n)
+        noc_lat = run_noc(n)
+        marker = "  <-- bus saturated" if util > 0.9 else ""
+        print(f"{n:>8} {bus_lat:>12.1f} {util:>9.2f} {noc_lat:>12.1f}{marker}")
+    print("\nThe bus wins while it is idle enough to grant instantly;")
+    print("past saturation its latency grows without bound while the mesh,")
+    print("with distributed arbitration and parallel paths, barely notices.")
+
+
+if __name__ == "__main__":
+    main()

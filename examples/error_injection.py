@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Unreliable links: watching ACK/NACK error control do its job.
+
+xpipes Lite switches are "designed for pipelined, unreliable links".
+This example injects flit corruption at increasing bit-error rates and
+shows that every transaction still completes with intact data, paying
+only latency and link bandwidth -- then opens a trace window so you can
+watch individual retransmissions happen.
+"""
+
+from repro.core.config import LinkConfig
+from repro.network import Noc, NocBuildConfig, mesh
+from repro.network.topology import attach_round_robin
+from repro.network.traffic import ScriptedTraffic, TxnTemplate, UniformRandomTraffic
+from repro.sim.trace import TextTracer
+
+
+def sweep() -> None:
+    print("=== BER sweep on a 2x2 mesh (2 CPUs, 2 memories) ===")
+    print(f"{'BER':>7} {'delivered':>10} {'mean lat':>9} {'errors':>7} "
+          f"{'retransmits':>12} {'link flits':>11}")
+    for ber in (0.0, 0.005, 0.02, 0.08):
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        noc = Noc(topo, NocBuildConfig(link=LinkConfig(error_rate=ber), seed=3))
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.05, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=40,
+        )
+        noc.run_until_drained(max_cycles=5_000_000)
+        lat = noc.aggregate_latency()
+        print(f"{ber:>7.3f} {noc.total_completed():>6}/80 {lat.mean():>9.1f} "
+              f"{noc.total_errors_injected():>7} {noc.total_retransmissions():>12} "
+              f"{noc.total_flits_carried():>11}")
+
+
+def traced_run() -> None:
+    print("\n=== one traced write on a lossy link ===")
+    topo = mesh(1, 2)
+    topo.add_initiator("cpu")
+    topo.add_target("mem")
+    topo.attach("cpu", "sw_0_0")
+    topo.attach("mem", "sw_1_0")
+    tracer = TextTracer()
+    noc = Noc(topo, NocBuildConfig(link=LinkConfig(error_rate=0.25), seed=11),
+              tracer=tracer)
+    master = noc.add_traffic_master(
+        "cpu",
+        ScriptedTraffic([(0, TxnTemplate("mem", offset=4, is_read=False, burst_len=2))]),
+        max_transactions=1,
+    )
+    noc.add_memory_slave("mem")
+    noc.run_until_drained(max_cycles=100_000)
+    slave = noc.slaves["mem"]
+    print(f"write completed: memory[4..5] = "
+          f"{slave.memory.get(4)}, {slave.memory.get(5)}")
+    rejected = sum(
+        r.corrupted_flits for sw in noc.switches.values() for r in sw.receivers
+    )
+    rejected += sum(ni.rx.corrupted_flits for ni in noc.target_nis.values())
+    rejected += sum(ni.rx.corrupted_flits for ni in noc.initiator_nis.values())
+    print(f"corrupted flits detected and NACKed on the way: {rejected}")
+    print(f"retransmissions performed: {noc.total_retransmissions()}")
+    print("\nswitch routing events:")
+    for cycle, source, event, fields in tracer.of(event="route")[:8]:
+        print(f"  [{cycle:>4}] {source:<8} {fields['flit']}")
+
+
+if __name__ == "__main__":
+    sweep()
+    traced_run()

@@ -1,0 +1,30 @@
+"""repro: a reproduction of *xpipes Lite* (DATE 2005).
+
+A synthesis-oriented design library for Networks-on-Chip: a
+parameterizable component library (network interfaces, 2-stage
+wormhole switches, pipelined unreliable links with ACK/NACK
+retransmission), a cycle-accurate simulator, analytic synthesis models
+calibrated to the paper's 130 nm results, the SunMap-style mapping/
+selection flow, and an xpipesCompiler-style generator producing both a
+runnable simulation view and SystemC-style structural source.
+
+Quick start::
+
+    from repro.network import mesh, Noc, UniformRandomTraffic
+    from repro.network.topology import attach_round_robin
+
+    topo = mesh(2, 2)
+    cpus, mems = attach_round_robin(topo, n_initiators=2, n_targets=2)
+    noc = Noc(topo)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, rate=0.1, seed=i)
+         for i, c in enumerate(cpus)},
+        max_transactions=100,
+    )
+    noc.run_until_drained()
+    print(noc.aggregate_latency().mean())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

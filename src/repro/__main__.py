@@ -1,0 +1,94 @@
+"""Top-level command line: quick tours of the library.
+
+Usage::
+
+    python -m repro info              # package inventory
+    python -m repro demo              # run the quickstart network
+    python -m repro mesh-case-study   # the paper's 2.6 mm2 headline
+    python -m repro figures           # regenerate every paper figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__} -- xpipes Lite (DATE 2005) reproduction")
+    print(__doc__)
+    rows = [
+        ("repro.sim", "cycle-accurate kernel, stats, tracing, VCD"),
+        ("repro.core", "flits, OCP, packetization, NIs, switch, links, CRC"),
+        ("repro.network", "topologies, NoC builder, traffic, monitors, deadlock"),
+        ("repro.bus", "AHB-like shared bus + bridged hierarchy baseline"),
+        ("repro.synth", "area/power/timing/energy models @130nm anchors"),
+        ("repro.flow", "task graphs, mapping, floorplan, bandwidth, selection"),
+        ("repro.compiler", "NoC spec -> routing tables + sim + SystemC views"),
+    ]
+    for mod, desc in rows:
+        print(f"  {mod:<16} {desc}")
+    print("\nsee README.md, DESIGN.md, EXPERIMENTS.md, docs/")
+    return 0
+
+
+def _demo() -> int:
+    from repro.network import Noc, UniformRandomTraffic, mesh
+    from repro.network.topology import attach_round_robin
+    from repro.synth import measure_noc_energy, synthesize_noc
+
+    topo = mesh(2, 2)
+    cpus, mems = attach_round_robin(topo, 2, 2)
+    noc = Noc(topo)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, 0.1, seed=i) for i, c in enumerate(cpus)},
+        max_transactions=100,
+    )
+    cycles = noc.run_until_drained(max_cycles=1_000_000)
+    lat = noc.aggregate_latency()
+    print(f"2x2 mesh, 2 CPUs + 2 memories, 200 transactions in {cycles} cycles")
+    print(f"  transaction latency: mean {lat.mean():.1f}, "
+          f"p95 {lat.percentile(95):.0f} cycles")
+    print(f"  network latency    : mean {noc.network_latency().mean():.1f} cycles")
+    report = synthesize_noc(topo, target_freq_mhz=1000)
+    print(f"  synthesis estimate : {report.total_area_mm2:.3f} mm2, "
+          f"{report.total_power_mw:.0f} mW @1 GHz")
+    energy = measure_noc_energy(noc)
+    print(f"  energy             : {energy.pj_per_transaction:.0f} pJ/transaction")
+    return 0
+
+
+def _mesh_case_study() -> int:
+    import runpy
+
+    runpy.run_path("examples/mesh_case_study.py", run_name="__main__")
+    return 0
+
+
+def _figures() -> int:
+    import pytest
+
+    return pytest.main(["benchmarks/", "--benchmark-only", "-q"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "command",
+        choices=["info", "demo", "mesh-case-study", "figures"],
+        nargs="?",
+        default="info",
+    )
+    args = parser.parse_args(argv)
+    return {
+        "info": _info,
+        "demo": _demo,
+        "mesh-case-study": _mesh_case_study,
+        "figures": _figures,
+    }[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

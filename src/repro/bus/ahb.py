@@ -1,0 +1,286 @@
+"""A cycle-accurate AHB-like shared bus.
+
+One transaction channel shared by all masters:
+
+* centralized arbitration (fixed priority or round robin) costing
+  ``arb_cycles`` per grant, plus one address-phase cycle;
+* **in-order completion** and **no multiple outstanding transactions**
+  -- the bus is busy from grant until the response is delivered, which
+  is precisely the serialization the paper's motivation slides blame;
+* bursts occupy the data phase for one cycle per beat (charged by the
+  slave model), plus slave wait states.
+
+Masters and slaves are the same behavioural OCP cores used on the NoC
+(:mod:`repro.network.cores`), so bus-vs-NoC comparisons run identical
+workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.arbiter import make_arbiter
+from repro.core.config import ArbitrationPolicy
+from repro.core.ocp import BurstTransaction, OcpMasterPort, OcpResponse, OcpSlavePort
+from repro.core.routing import AddressMap
+from repro.network.cores import OcpMemorySlave, OcpTrafficMaster
+from repro.network.traffic import TrafficPattern
+from repro.sim.component import Component
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.stats import LatencySampler
+
+
+@dataclass(frozen=True)
+class SharedBusConfig:
+    """Bus parameters."""
+
+    arbitration: ArbitrationPolicy = ArbitrationPolicy.ROUND_ROBIN
+    arb_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.arb_cycles < 0:
+            raise ValueError("arb_cycles must be >= 0")
+
+
+class _BusState(enum.Enum):
+    IDLE = "idle"
+    ARBITRATING = "arbitrating"
+    FORWARD = "forward"  # driving the request at the slave
+    WAIT_RESP = "wait_resp"  # slave executing
+    RESPOND = "respond"  # driving the response at the master
+
+
+class _BusCore(Component):
+    """The bus fabric itself: arbiter + single transaction channel."""
+
+    def __init__(
+        self,
+        name: str,
+        config: SharedBusConfig,
+        master_ports: List[OcpMasterPort],
+        slave_ports: Dict[str, OcpSlavePort],
+        address_map: AddressMap,
+        decoder=None,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.master_ports = master_ports
+        self.slave_ports = slave_ports
+        self.address_map = address_map
+        # decoder: MAddr -> (slave port name, address to forward).  The
+        # default decodes through the address map and forwards the local
+        # offset, matching what a target NI presents to its slave on the
+        # NoC.  Bridged systems remap foreign regions onto the bridge's
+        # slave port and forward the full address for re-decode.
+        self.decoder = decoder or (lambda addr: address_map.decode(addr))
+        self._arbiter = make_arbiter(config.arbitration, len(master_ports))
+        self._state = _BusState.IDLE
+        self._countdown = 0
+        self._txn: Optional[BurstTransaction] = None
+        self._fwd_txn: Optional[BurstTransaction] = None
+        self._owner: Optional[int] = None
+        self._slave: Optional[OcpSlavePort] = None
+        self._resp: Optional[OcpResponse] = None
+        self._last_seen: List[Optional[int]] = [None] * len(master_ports)
+        self.grants = 0
+        self.busy_cycles = 0
+
+    def reset(self) -> None:
+        self._arbiter.reset()
+        self._state = _BusState.IDLE
+        self._countdown = 0
+        self._txn = None
+        self._fwd_txn = None
+        self._owner = None
+        self._slave = None
+        self._resp = None
+        self._last_seen = [None] * len(self.master_ports)
+        self.grants = 0
+        self.busy_cycles = 0
+
+    def _pending_requests(self) -> List[bool]:
+        reqs = []
+        for i, port in enumerate(self.master_ports):
+            txn = port.peek_request()
+            reqs.append(txn is not None and txn.txn_id != self._last_seen[i])
+        return reqs
+
+    def tick(self, cycle: int) -> None:
+        if self._state is not _BusState.IDLE:
+            self.busy_cycles += 1
+
+        if self._state is _BusState.IDLE:
+            reqs = self._pending_requests()
+            if any(reqs):
+                winner = self._arbiter.grant(reqs)
+                assert winner is not None
+                self._owner = winner
+                self.grants += 1
+                # Arbitration + address phase before the transfer starts.
+                self._countdown = self.config.arb_cycles + 1
+                self._state = _BusState.ARBITRATING
+            return
+
+        if self._state is _BusState.ARBITRATING:
+            self._countdown -= 1
+            if self._countdown > 0:
+                return
+            port = self.master_ports[self._owner]
+            txn = port.peek_request()
+            if txn is None or txn.txn_id == self._last_seen[self._owner]:
+                self._state = _BusState.IDLE  # master withdrew
+                return
+            target, local_addr = self.decoder(txn.addr)
+            self._txn = txn
+            self._fwd_txn = replace(txn, addr=local_addr)
+            self._slave = self.slave_ports[target]
+            self._last_seen[self._owner] = txn.txn_id
+            port.accept_request(txn.txn_id)
+            self._state = _BusState.FORWARD
+            self.trace(cycle, "grant", master=self._owner, txn=txn.txn_id, slave=target)
+            return
+
+        if self._state is _BusState.FORWARD:
+            assert self._slave is not None and self._fwd_txn is not None
+            if self._slave.accepted_request_id() == self._fwd_txn.txn_id:
+                self._state = _BusState.WAIT_RESP
+            else:
+                self._slave.drive_request(self._fwd_txn)
+            return
+
+        if self._state is _BusState.WAIT_RESP:
+            assert self._slave is not None and self._txn is not None
+            resp = self._slave.peek_response()
+            if resp is not None and resp.txn_id == self._txn.txn_id:
+                self._resp = resp
+                self._slave.accept_response(resp.txn_id)
+                self._state = _BusState.RESPOND
+            return
+
+        if self._state is _BusState.RESPOND:
+            assert self._resp is not None
+            port = self.master_ports[self._owner]
+            if port.accepted_response_id() == self._resp.txn_id:
+                self._txn = None
+                self._fwd_txn = None
+                self._owner = None
+                self._slave = None
+                self._resp = None
+                self._state = _BusState.IDLE
+            else:
+                port.drive_response(self._resp)
+            return
+
+
+class SharedBus:
+    """A runnable shared-bus system mirroring :class:`repro.network.noc.Noc`.
+
+    Construct with master and slave names, then attach the same traffic
+    patterns and memory models used on the NoC.
+    """
+
+    def __init__(
+        self,
+        master_names: List[str],
+        slave_names: List[str],
+        config: Optional[SharedBusConfig] = None,
+        sim: Optional[Simulator] = None,
+        address_map: Optional[AddressMap] = None,
+        decoder=None,
+        name: str = "bus",
+    ) -> None:
+        if not master_names or not slave_names:
+            raise ValueError("need at least one master and one slave")
+        self.config = config or SharedBusConfig()
+        self.sim = sim if sim is not None else Simulator()
+        self.name = name
+        self.address_map = address_map or AddressMap(slave_names)
+        self.master_names = list(master_names)
+        self.slave_names = list(slave_names)
+        self.master_ports = {
+            m: OcpMasterPort(self.sim, f"{name}.{m}.ocp") for m in master_names
+        }
+        self.slave_ports = {
+            s: OcpSlavePort(self.sim, f"{name}.{s}.ocp") for s in slave_names
+        }
+        self.bus = _BusCore(
+            name,
+            self.config,
+            [self.master_ports[m] for m in master_names],
+            self.slave_ports,
+            self.address_map,
+            decoder=decoder,
+        )
+        self.sim.add(self.bus)
+        self.masters: Dict[str, OcpTrafficMaster] = {}
+        self.slaves: Dict[str, OcpMemorySlave] = {}
+
+    def add_traffic_master(
+        self,
+        name: str,
+        pattern: TrafficPattern,
+        max_outstanding: int = 1,
+        max_transactions: Optional[int] = None,
+    ) -> OcpTrafficMaster:
+        if name not in self.master_ports:
+            raise SimulationError(f"{name!r} is not a bus master")
+        master = OcpTrafficMaster(
+            f"{name}.core",
+            self.master_ports[name],
+            pattern,
+            self.address_map,
+            max_outstanding=max_outstanding,
+            max_transactions=max_transactions,
+        )
+        self.masters[name] = master
+        self.sim.add(master)
+        return master
+
+    def add_memory_slave(self, name: str, wait_states: int = 1) -> OcpMemorySlave:
+        if name not in self.slave_ports:
+            raise SimulationError(f"{name!r} is not a bus slave")
+        slave = OcpMemorySlave(f"{name}.core", self.slave_ports[name], wait_states=wait_states)
+        self.slaves[name] = slave
+        self.sim.add(slave)
+        return slave
+
+    def populate(
+        self,
+        patterns: Dict[str, TrafficPattern],
+        wait_states: int = 1,
+        max_transactions: Optional[int] = None,
+    ) -> None:
+        for name, pattern in patterns.items():
+            self.add_traffic_master(name, pattern, max_transactions=max_transactions)
+        for s in self.slave_names:
+            self.add_memory_slave(s, wait_states=wait_states)
+
+    def run(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def run_until_drained(self, max_cycles: int = 1_000_000, margin: int = 20) -> int:
+        for m in self.masters.values():
+            if m.max_transactions is None:
+                raise SimulationError(f"{m.name}: run_until_drained needs max_transactions")
+        spent = self.sim.run_until(
+            lambda: all(m.done for m in self.masters.values()), max_cycles
+        )
+        self.sim.run(margin)
+        return spent
+
+    def aggregate_latency(self) -> LatencySampler:
+        merged = LatencySampler("bus.latency")
+        for m in self.masters.values():
+            merged.samples.extend(m.latency.samples)
+        return merged
+
+    def total_completed(self) -> int:
+        return sum(m.completed for m in self.masters.values())
+
+    def utilization(self) -> float:
+        """Fraction of simulated cycles the bus was busy."""
+        if self.sim.cycle == 0:
+            return 0.0
+        return self.bus.busy_cycles / self.sim.cycle

@@ -1,0 +1,211 @@
+"""Bridged bus hierarchies (the paper's AMBA system example).
+
+The motivation slide's AMBA system is a high-speed bus (CPUs, memory)
+plus a peripheral bus behind a bridge.  :class:`BridgedBus` builds that
+platform: masters on the fast segment can reach fast slaves directly
+and slow slaves through a :class:`BusBridge`, which occupies the fast
+bus for the *entire* slow-segment transaction -- the serialization
+pathology that makes bridged buses even less scalable than flat ones,
+and that a NoC dissolves.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.bus.ahb import SharedBus, SharedBusConfig
+from repro.core.ocp import BurstTransaction, OcpMasterPort, OcpResponse, OcpSlavePort
+from repro.core.routing import AddressMap
+from repro.network.traffic import TrafficPattern
+from repro.sim.component import Component
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.stats import LatencySampler
+
+
+class _BridgeState(enum.Enum):
+    IDLE = "idle"
+    CROSSING = "crossing"  # paying the bridge latency
+    DOWNSTREAM = "downstream"  # transaction issued on the slow bus
+    RETURNING = "returning"  # response travelling back upstream
+
+
+class BusBridge(Component):
+    """Slave on the fast bus, master on the slow bus.
+
+    Forwards one transaction at a time (bridges hold no queues in the
+    classic AMBA configuration) after ``latency`` crossing cycles each
+    way.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        upstream: OcpSlavePort,
+        downstream: OcpMasterPort,
+        latency: int = 2,
+    ) -> None:
+        super().__init__(name)
+        if latency < 0:
+            raise ValueError("bridge latency must be >= 0")
+        self.upstream = upstream
+        self.downstream = downstream
+        self.latency = latency
+        self._state = _BridgeState.IDLE
+        self._countdown = 0
+        self._txn: Optional[BurstTransaction] = None
+        self._resp: Optional[OcpResponse] = None
+        self._last_txn: Optional[int] = None
+        self.crossings = 0
+
+    def reset(self) -> None:
+        self._state = _BridgeState.IDLE
+        self._countdown = 0
+        self._txn = None
+        self._resp = None
+        self._last_txn = None
+        self.crossings = 0
+
+    def tick(self, cycle: int) -> None:
+        if self._state is _BridgeState.IDLE:
+            txn = self.upstream.peek_request()
+            if txn is not None and txn.txn_id != self._last_txn:
+                self._txn = txn
+                self._last_txn = txn.txn_id
+                self.upstream.accept_request(txn.txn_id)
+                self._countdown = self.latency
+                self._state = _BridgeState.CROSSING
+                self.crossings += 1
+            return
+
+        if self._state is _BridgeState.CROSSING:
+            if self._countdown > 0:
+                self._countdown -= 1
+                return
+            self._state = _BridgeState.DOWNSTREAM
+            # fall through to issue this cycle
+
+        if self._state is _BridgeState.DOWNSTREAM:
+            assert self._txn is not None
+            if self.downstream.accepted_request_id() == self._txn.txn_id:
+                pass  # accepted; now wait for the response
+            else:
+                self.downstream.drive_request(self._txn)
+            resp = self.downstream.peek_response()
+            if resp is not None and resp.txn_id == self._txn.txn_id:
+                self.downstream.accept_response(resp.txn_id)
+                self._resp = resp
+                self._countdown = self.latency
+                self._state = _BridgeState.RETURNING
+            return
+
+        if self._state is _BridgeState.RETURNING:
+            if self._countdown > 0:
+                self._countdown -= 1
+                return
+            assert self._resp is not None
+            if self.upstream.accepted_response_id() == self._resp.txn_id:
+                self._txn = None
+                self._resp = None
+                self._state = _BridgeState.IDLE
+            else:
+                self.upstream.drive_response(self._resp)
+            return
+
+
+class BridgedBus:
+    """A two-segment AMBA-style platform behind one global address map.
+
+    ``master_names`` live on the fast segment; ``fast_slaves`` are
+    reached directly; ``slow_slaves`` sit on the peripheral segment
+    behind the bridge.  The same traffic/memory models as everywhere
+    else plug in, so the F9-style comparison extends to hierarchies.
+    """
+
+    BRIDGE = "__bridge__"
+
+    def __init__(
+        self,
+        master_names: List[str],
+        fast_slaves: List[str],
+        slow_slaves: List[str],
+        config: Optional[SharedBusConfig] = None,
+        bridge_latency: int = 2,
+    ) -> None:
+        if not slow_slaves:
+            raise ValueError("a bridged bus needs at least one slow slave")
+        self.sim = Simulator()
+        # One global address map covers both segments.
+        self.address_map = AddressMap(fast_slaves + slow_slaves)
+        self.fast_slaves = list(fast_slaves)
+        self.slow_slaves = list(slow_slaves)
+        slow_set = set(slow_slaves)
+
+        def fast_decoder(addr: int):
+            target, offset = self.address_map.decode(addr)
+            if target in slow_set:
+                # Forward the full address: the slow bus re-decodes it.
+                return self.BRIDGE, addr
+            return target, offset
+
+        self.fast = SharedBus(
+            master_names,
+            fast_slaves + [self.BRIDGE],
+            config=config,
+            sim=self.sim,
+            address_map=self.address_map,
+            decoder=fast_decoder,
+            name="fastbus",
+        )
+        self.slow = SharedBus(
+            [self.BRIDGE],
+            slow_slaves,
+            config=config,
+            sim=self.sim,
+            address_map=self.address_map,
+            decoder=lambda addr: self.address_map.decode(addr),
+            name="slowbus",
+        )
+        self.bridge = BusBridge(
+            "bridge",
+            upstream=self.fast.slave_ports[self.BRIDGE],
+            downstream=self.slow.master_ports[self.BRIDGE],
+            latency=bridge_latency,
+        )
+        self.sim.add(self.bridge)
+
+    # -- population ----------------------------------------------------------
+    def add_traffic_master(self, name: str, pattern: TrafficPattern, **kw):
+        return self.fast.add_traffic_master(name, pattern, **kw)
+
+    def add_memory_slave(self, name: str, wait_states: int = 1):
+        if name in self.fast.slave_ports and name != self.BRIDGE:
+            return self.fast.add_memory_slave(name, wait_states)
+        if name in self.slow.slave_ports:
+            return self.slow.add_memory_slave(name, wait_states)
+        raise SimulationError(f"{name!r} is not a slave of either segment")
+
+    def populate(self, patterns, wait_states: int = 1, max_transactions=None) -> None:
+        for name, pattern in patterns.items():
+            self.add_traffic_master(name, pattern, max_transactions=max_transactions)
+        for s in self.fast_slaves + self.slow_slaves:
+            self.add_memory_slave(s, wait_states)
+
+    # -- execution -------------------------------------------------------------
+    def run(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def run_until_drained(self, max_cycles: int = 1_000_000, margin: int = 30) -> int:
+        masters = self.fast.masters.values()
+        for m in masters:
+            if m.max_transactions is None:
+                raise SimulationError(f"{m.name}: run_until_drained needs max_transactions")
+        spent = self.sim.run_until(lambda: all(m.done for m in masters), max_cycles)
+        self.sim.run(margin)
+        return spent
+
+    def aggregate_latency(self) -> LatencySampler:
+        return self.fast.aggregate_latency()
+
+    def total_completed(self) -> int:
+        return self.fast.total_completed()

@@ -1,0 +1,34 @@
+"""The xpipesCompiler: NoC specification -> views.
+
+    XpipesCompiler: NoC specification -> routing tables + xpipes components
+
+The compiler consumes a :class:`~repro.compiler.spec.NocSpecification`
+(cores, topology, mapping, component parameters) and produces the two
+orthogonal views the paper describes:
+
+* the **simulation view** -- a live, runnable
+  :class:`~repro.network.noc.Noc` (:func:`~repro.compiler.instantiate.simulation_view`);
+* the **synthesis view** -- SystemC-style structural source with one
+  class template specialization per component type plus a hierarchical
+  top level (:mod:`~repro.compiler.codegen`), and the analytic
+  synthesis estimate (:func:`~repro.compiler.instantiate.synthesis_view`).
+
+Routing tables (the NI LUT contents) are generated once and shared by
+both views (:mod:`~repro.compiler.routing_tables`).
+"""
+
+from repro.compiler.codegen import generate_systemc, write_systemc
+from repro.compiler.instantiate import simulation_view, synthesis_view
+from repro.compiler.routing_tables import generate_routing_tables, render_routing_tables
+from repro.compiler.spec import CoreBinding, NocSpecification
+
+__all__ = [
+    "CoreBinding",
+    "NocSpecification",
+    "generate_routing_tables",
+    "generate_systemc",
+    "render_routing_tables",
+    "simulation_view",
+    "synthesis_view",
+    "write_systemc",
+]

@@ -1,0 +1,80 @@
+"""Command-line xpipesCompiler.
+
+Usage::
+
+    python -m repro.compiler SPEC.json -o OUTDIR        # generate views
+    python -m repro.compiler SPEC.json --tables         # print LUTs
+    python -m repro.compiler SPEC.json --report [--freq 1000]
+    python -m repro.compiler --demo > demo_spec.json    # starter spec
+
+Mirrors the paper's tool boundary: one JSON specification in, routing
+tables + SystemC-style synthesis view + synthesis estimate out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler.codegen import write_systemc
+from repro.compiler.instantiate import synthesis_view
+from repro.compiler.routing_tables import generate_routing_tables, render_routing_tables
+from repro.compiler.spec import NocSpecification
+
+
+def _demo_spec() -> NocSpecification:
+    from repro.network.topology import attach_round_robin, mesh
+
+    topo = mesh(2, 2)
+    attach_round_robin(topo, 2, 2)
+    return NocSpecification.from_topology(topo, name="demo2x2")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.compiler",
+        description="xpipesCompiler: NoC specification -> routing tables + views",
+    )
+    parser.add_argument("spec", nargs="?", help="NoC specification JSON file")
+    parser.add_argument("-o", "--output", help="directory for the synthesis view")
+    parser.add_argument(
+        "--tables", action="store_true", help="print the routing tables"
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the synthesis estimate"
+    )
+    parser.add_argument(
+        "--freq", type=float, default=1000.0, help="target frequency in MHz"
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="emit a starter specification and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        print(_demo_spec().to_json())
+        return 0
+    if not args.spec:
+        parser.error("a specification file is required (or use --demo)")
+    with open(args.spec, "r", encoding="utf-8") as f:
+        spec = NocSpecification.from_json(f.read())
+
+    did_something = False
+    if args.tables:
+        print(render_routing_tables(generate_routing_tables(spec)))
+        did_something = True
+    if args.report:
+        print(synthesis_view(spec, target_freq_mhz=args.freq).to_table())
+        did_something = True
+    if args.output:
+        paths = write_systemc(spec, args.output)
+        for p in paths:
+            print(f"wrote {p}")
+        did_something = True
+    if not did_something:
+        parser.error("nothing to do: pass -o, --tables and/or --report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The xpipes Lite component library.
+
+This package is the paper's primary contribution: a parameterizable,
+synthesis-oriented library of NoC building blocks --
+
+* flits and packets (:mod:`~repro.core.flit`, :mod:`~repro.core.packet`),
+* the OCP transaction layer (:mod:`~repro.core.ocp`),
+* transaction-centric packetization (:mod:`~repro.core.packetizer`),
+* initiator/target network interfaces (:mod:`~repro.core.ni`),
+* the 2-stage output-queued wormhole switch (:mod:`~repro.core.switch`),
+* pipelined unreliable links (:mod:`~repro.core.link`) and the go-back-N
+  ACK/NACK flow & error control that rides them
+  (:mod:`~repro.core.flow_control`),
+* source routing (:mod:`~repro.core.routing`).
+
+Every block is parameterized through the dataclasses in
+:mod:`~repro.core.config`, mirroring the C++ class-template parameters
+the xpipesCompiler specializes.
+"""
+
+from repro.core.credit import CreditReceiver, CreditSender, CreditToken
+from repro.core.credit_switch import InputBufferedSwitch
+from repro.core.config import (
+    ArbitrationPolicy,
+    LinkConfig,
+    NiConfig,
+    NocParameters,
+    SwitchConfig,
+)
+from repro.core.flit import Flit, FlitType
+from repro.core.ocp import (
+    BurstTransaction,
+    OcpCmd,
+    OcpMasterPort,
+    OcpResponse,
+    OcpSlavePort,
+    SResp,
+)
+from repro.core.packet import Packet, PacketHeader, PacketKind
+from repro.core.packetizer import Depacketizer, Packetizer
+from repro.core.routing import Route, RoutingTable, compute_routes
+
+__all__ = [
+    "ArbitrationPolicy",
+    "CreditReceiver",
+    "CreditSender",
+    "CreditToken",
+    "InputBufferedSwitch",
+    "BurstTransaction",
+    "Depacketizer",
+    "Flit",
+    "FlitType",
+    "LinkConfig",
+    "NiConfig",
+    "NocParameters",
+    "OcpCmd",
+    "OcpMasterPort",
+    "OcpResponse",
+    "OcpSlavePort",
+    "Packet",
+    "PacketHeader",
+    "PacketKind",
+    "Packetizer",
+    "Route",
+    "RoutingTable",
+    "SResp",
+    "SwitchConfig",
+    "compute_routes",
+]

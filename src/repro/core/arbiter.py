@@ -1,0 +1,74 @@
+"""Switch arbitration: fixed priority and round robin.
+
+The paper's switch offers both policies per output port.  Arbiters here
+are combinational grant functions with (for round robin) one register of
+state, exactly the hardware they model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import ArbitrationPolicy
+
+
+class Arbiter:
+    """Grants one requester among ``n`` each time :meth:`grant` is called."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        """Return the granted index, or ``None`` if nobody requests."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return arbitration state to power-on."""
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Lowest index wins.  Cheapest hardware; can starve high indices."""
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for i, r in enumerate(requests):
+            if r:
+                return i
+        return None
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter; strongly fair.
+
+    After granting index *g*, the highest priority moves to *g + 1*, so
+    every persistent requester is served within ``n`` grants.
+    """
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> Optional[int]:
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        for off in range(self.n):
+            i = (self._next + off) % self.n
+            if requests[i]:
+                self._next = (i + 1) % self.n
+                return i
+        return None
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+def make_arbiter(policy: ArbitrationPolicy, n: int) -> Arbiter:
+    """Factory used by the switch model and the xpipesCompiler."""
+    if policy is ArbitrationPolicy.FIXED_PRIORITY:
+        return FixedPriorityArbiter(n)
+    if policy is ArbitrationPolicy.ROUND_ROBIN:
+        return RoundRobinArbiter(n)
+    raise ValueError(f"unknown arbitration policy: {policy!r}")

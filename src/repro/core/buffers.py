@@ -1,0 +1,67 @@
+"""Bounded FIFOs modelling register-file buffers.
+
+Output queues in the switch and the small staging buffers in the NIs are
+flip-flop register files in silicon; their depth is a class-template
+parameter the synthesis model charges area for.  The simulation model is
+a plain bounded FIFO with explicit overflow errors (hardware has no
+"grow on demand").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BufferOverflowError(RuntimeError):
+    """Pushed into a full FIFO -- always a protocol bug upstream."""
+
+
+class BoundedFifo(Generic[T]):
+    """A bounded first-in first-out queue."""
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.name = name
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def free(self) -> int:
+        return self.depth - len(self._items)
+
+    def push(self, item: T) -> None:
+        if self.is_full:
+            raise BufferOverflowError(f"{self.name}: push into full FIFO (depth {self.depth})")
+        self._items.append(item)
+
+    def pop(self) -> T:
+        if self.is_empty:
+            raise IndexError(f"{self.name}: pop from empty FIFO")
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __repr__(self) -> str:
+        return f"BoundedFifo({self.name!r}, {len(self._items)}/{self.depth})"

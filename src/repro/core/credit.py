@@ -1,0 +1,144 @@
+"""Credit-based flow control: the road xpipes Lite did *not* take.
+
+The paper's switch pairs output queueing with ACK/NACK retransmission;
+the classic alternative is input buffering with credit-based
+backpressure: the sender holds a counter of free slots in the
+downstream input buffer, decrements per flit sent, and recovers credits
+as the receiver drains.  Nothing is ever dropped, so nothing can be
+retransmitted -- which is exactly the limitation: **credits assume
+reliable links**.  A corrupted flit has already consumed its buffer
+slot and has no recovery path short of end-to-end timeouts.
+
+This module provides the sender/receiver FSMs with the same owner
+interface as :mod:`repro.core.flow_control`'s go-back-N pair, so NIs
+and switches can host either; the input-buffered switch that credits
+require lives in :mod:`repro.core.credit_switch`.  The A10 ablation
+compares the two disciplines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.core.flit import Flit
+from repro.sim.channel import FlitChannel
+
+
+@dataclass(frozen=True, slots=True)
+class CreditToken:
+    """A backward-channel token restoring ``count`` buffer slots."""
+
+    count: int = 1
+
+
+class CreditProtocolError(RuntimeError):
+    """Credit accounting violated -- always a wiring/capacity bug."""
+
+
+class CreditSender:
+    """Transmit side: one flit per cycle, never beyond the credit count.
+
+    Same owner interface as :class:`~repro.core.flow_control.GoBackNSender`:
+    check :meth:`can_accept`, hand flits over with :meth:`enqueue`, call
+    :meth:`on_cycle` exactly once per clock.
+    """
+
+    def __init__(self, channel: FlitChannel, capacity: int, name: str = "credit-tx") -> None:
+        if capacity < 1:
+            raise ValueError("downstream capacity must be >= 1")
+        self.channel = channel
+        self.capacity = capacity
+        self.name = name
+        self._credits = capacity
+        self._outbox: Deque[Flit] = deque()
+        self.sent_flits = 0
+
+    def reset(self) -> None:
+        self._credits = self.capacity
+        self._outbox.clear()
+        self.sent_flits = 0
+
+    @property
+    def credits(self) -> int:
+        return self._credits
+
+    @property
+    def idle(self) -> bool:
+        """All transmitted flits have landed (full credit, empty outbox)."""
+        return not self._outbox and self._credits == self.capacity
+
+    @property
+    def in_flight(self) -> int:
+        return self.capacity - self._credits
+
+    def can_accept(self) -> bool:
+        """A credit is available and this cycle's send slot is free."""
+        return self._credits > 0 and not self._outbox
+
+    def enqueue(self, flit: Flit) -> None:
+        if not self.can_accept():
+            raise CreditProtocolError(f"{self.name}: enqueue without a credit")
+        self._credits -= 1
+        self._outbox.append(flit)
+
+    def on_cycle(self) -> None:
+        token = self.channel.peek_ack()
+        if token is not None:
+            if not isinstance(token, CreditToken):
+                raise CreditProtocolError(
+                    f"{self.name}: non-credit token on the return wire: {token!r}"
+                )
+            self._credits += token.count
+            if self._credits > self.capacity:
+                raise CreditProtocolError(
+                    f"{self.name}: credit overflow ({self._credits}/{self.capacity})"
+                )
+        if self._outbox:
+            self.channel.send(self._outbox.popleft())
+            self.sent_flits += 1
+
+
+class CreditReceiver:
+    """Receive side: flits are always accepted (the credit the sender
+    spent guarantees a slot); credits return as the owner drains.
+
+    Corrupted flits are a hard error -- the credit discipline has no
+    retransmission path, which is the point the A10 ablation makes.
+    """
+
+    def __init__(self, channel: FlitChannel, name: str = "credit-rx") -> None:
+        self.channel = channel
+        self.name = name
+        self.accepted_flits = 0
+        self._pending_grants = 0
+
+    def reset(self) -> None:
+        self.accepted_flits = 0
+        self._pending_grants = 0
+
+    def poll(self) -> Optional[Flit]:
+        """This cycle's arriving flit, if any."""
+        flit = self.channel.peek_flit()
+        if flit is None:
+            return None
+        if flit.corrupted:
+            raise CreditProtocolError(
+                f"{self.name}: corrupted flit under credit flow control "
+                "(credits require reliable links): " + repr(flit)
+            )
+        self.accepted_flits += 1
+        return flit
+
+    def grant(self, n: int = 1) -> None:
+        """Queue ``n`` freed slots for return to the sender."""
+        if n < 1:
+            raise ValueError("grant at least one credit")
+        self._pending_grants += n
+
+    def on_cycle(self) -> None:
+        """Drive at most one return token per clock (one wire)."""
+        if self._pending_grants:
+            self.channel.send_ack(CreditToken(self._pending_grants))
+            self._pending_grants = 0

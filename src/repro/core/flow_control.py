@@ -1,0 +1,211 @@
+"""ACK/NACK flow and error control (go-back-N).
+
+xpipes Lite is "designed for pipelined, unreliable links": instead of
+credit-based backpressure, every flit transmitted over a link is held in
+a retransmission buffer until the receiver acknowledges it.  The
+receiver NACKs flits it cannot accept -- because they arrived corrupted,
+because its output queue is full, or because they lost allocation -- and
+the sender rewinds and retransmits from the oldest unacknowledged flit
+(go-back-N).  The same mechanism therefore provides *both* flow control
+and error control, which is what lets the switch run as a short 2-stage
+pipeline.
+
+The two FSMs here are embedded by every flit producer/consumer in the
+library: NI back ends, switch inputs and switch output ports.
+
+Sequence numbers are modelled as unbounded integers; hardware uses
+``ceil(log2(window + 1))``-bit counters, which is behaviourally
+identical because at most ``window`` flits are ever unacknowledged (the
+synthesis model charges area for the real counter width).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.crc import CrcCodec
+from repro.core.flit import Flit
+from repro.sim.channel import AckSignal, FlitChannel
+
+
+def window_for_link(stages: int, margin: int = 2) -> int:
+    """Retransmission window that keeps an ``stages``-deep link busy.
+
+    A link with ``stages`` pipeline stages has an effective one-way
+    latency of ``stages + 1`` cycles (the sender's output register plus
+    the link's internal stages; see :class:`repro.core.link.Link`), so
+    the ACK round trip is ``2 * (stages + 1)`` plus one cycle for the
+    receiver's decision.  The window must cover that round trip or the
+    sender stalls even on a clean link.
+    """
+    return 2 * (stages + 1) + 1 + margin
+
+
+class GoBackNSender:
+    """Transmit side of one link direction.
+
+    Owners call :meth:`can_accept`/:meth:`enqueue` to hand over new
+    flits and :meth:`on_cycle` exactly once per clock to process the
+    reverse channel and drive the forward wire.
+    """
+
+    def __init__(
+        self,
+        channel: FlitChannel,
+        window: int,
+        name: str = "gbn-tx",
+        codec: Optional[CrcCodec] = None,
+    ) -> None:
+        if window < 3:
+            raise ValueError("window must cover at least the minimal round trip (3)")
+        self.channel = channel
+        self.window = window
+        self.name = name
+        self.codec = codec  # bit-accurate mode: CRC attached per flit
+        self._buffer: List[Flit] = []  # unacked flits, oldest first
+        self._send_ptr = 0  # next buffer index to (re)transmit
+        self._next_seqno = 0
+        # instrumentation
+        self.sent_flits = 0
+        self.retransmissions = 0
+        self.acks_seen = 0
+        self.nacks_seen = 0
+
+    def reset(self) -> None:
+        self._buffer = []
+        self._send_ptr = 0
+        self._next_seqno = 0
+        self.sent_flits = 0
+        self.retransmissions = 0
+        self.acks_seen = 0
+        self.nacks_seen = 0
+
+    # -- owner interface --------------------------------------------------
+    def can_accept(self) -> bool:
+        """True if a new flit may be enqueued this cycle."""
+        return len(self._buffer) < self.window
+
+    def enqueue(self, flit: Flit) -> None:
+        """Hand a new flit to the sender (stamps seqno and, in
+        bit-accurate mode, the payload CRC)."""
+        if not self.can_accept():
+            raise RuntimeError(f"{self.name}: enqueue beyond window {self.window}")
+        flit = flit.with_seqno(self._next_seqno)
+        if self.codec is not None:
+            flit = flit.with_crc(self.codec.compute(flit.payload))
+        self._buffer.append(flit)
+        self._next_seqno += 1
+
+    @property
+    def idle(self) -> bool:
+        """True when every transmitted flit has been acknowledged."""
+        return not self._buffer
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._buffer)
+
+    def on_cycle(self) -> None:
+        """Process one clock: consume ACK/NACK, transmit one flit."""
+        ack = self.channel.peek_ack()
+        if ack is not None:
+            if ack.is_ack:
+                self.acks_seen += 1
+                # ACKs arrive in order, one per accepted flit: release
+                # the oldest unacknowledged entry if it matches.
+                if self._buffer and self._buffer[0].seqno == ack.seqno:
+                    self._buffer.pop(0)
+                    self._send_ptr = max(0, self._send_ptr - 1)
+            else:
+                self.nacks_seen += 1
+                # Go-back-N: rewind to the oldest unacknowledged flit.
+                if self._send_ptr > 0:
+                    self.retransmissions += self._send_ptr
+                self._send_ptr = 0
+        if self._send_ptr < len(self._buffer):
+            self.channel.send(self._buffer[self._send_ptr])
+            self._send_ptr += 1
+            self.sent_flits += 1
+
+
+class GoBackNReceiver:
+    """Receive side of one link direction.
+
+    Each cycle the owner calls :meth:`poll` with an ``accept`` predicate
+    deciding whether the in-order, uncorrupted flit visible this cycle
+    can be consumed *right now* (e.g. "the crossbar grants it and the
+    output queue has space").  The receiver drives the ACK or NACK and
+    returns the flit only when it was accepted.  Corrupted or
+    out-of-sequence flits are NACKed/dropped internally.
+    """
+
+    def __init__(
+        self,
+        channel: FlitChannel,
+        name: str = "gbn-rx",
+        codec: Optional[CrcCodec] = None,
+    ) -> None:
+        self.channel = channel
+        self.name = name
+        self.codec = codec  # bit-accurate mode: recompute + compare CRC
+        self._expected = 0
+        # instrumentation
+        self.accepted_flits = 0
+        self.rejected_flits = 0
+        self.corrupted_flits = 0
+        self.out_of_order_flits = 0
+
+    def reset(self) -> None:
+        self._expected = 0
+        self.accepted_flits = 0
+        self.rejected_flits = 0
+        self.corrupted_flits = 0
+        self.out_of_order_flits = 0
+
+    def _detected_corrupt(self, flit: Flit) -> bool:
+        """Would this receiver's error detection reject the flit?
+
+        Abstract mode trusts the ``corrupted`` flag (perfect detection);
+        bit-accurate mode recomputes the CRC, so bit flips that alias
+        into a valid codeword slip through -- measurably.
+        """
+        if flit.corrupted:
+            return True
+        if self.codec is not None and flit.crc >= 0:
+            return self.codec.compute(flit.payload) != flit.crc
+        return False
+
+    def peek(self) -> Optional[Flit]:
+        """The candidate flit this cycle: in order and clean, else None.
+
+        Does not drive any ACK; callers that peek must still call
+        :meth:`poll` in the same cycle.
+        """
+        flit = self.channel.peek_flit()
+        if flit is None or self._detected_corrupt(flit) or flit.seqno != self._expected:
+            return None
+        return flit
+
+    def poll(self, accept: Callable[[Flit], bool]) -> Optional[Flit]:
+        """Handle this cycle's incoming flit; return it if accepted."""
+        flit = self.channel.peek_flit()
+        if flit is None:
+            return None
+        if self._detected_corrupt(flit):
+            # Detected error (CRC in hardware): demand retransmission.
+            self.corrupted_flits += 1
+            self.channel.send_ack(AckSignal.nack(flit.seqno))
+            return None
+        if flit.seqno != self._expected:
+            # Stale flit from before a rewind: drop, remind the sender.
+            self.out_of_order_flits += 1
+            self.channel.send_ack(AckSignal.nack(flit.seqno))
+            return None
+        if accept(flit):
+            self.accepted_flits += 1
+            self.channel.send_ack(AckSignal.ack(flit.seqno))
+            self._expected += 1
+            return flit
+        self.rejected_flits += 1
+        self.channel.send_ack(AckSignal.nack(flit.seqno))
+        return None

@@ -1,0 +1,116 @@
+"""Pipelined, unreliable links.
+
+xpipes Lite targets long on-chip wires that must be pipelined to meet
+frequency, and that may corrupt data in flight -- the whole reason the
+switch carries ACK/NACK retransmission hardware.  The :class:`Link`
+component models one bidirectional link between two network elements:
+
+* the *forward* direction shifts flits through ``stages - 1`` internal
+  registers and may corrupt each passing flit with probability
+  ``error_rate`` (a detected-error model: CRC logic in the receiver is
+  abstracted into the flit's ``corrupted`` flag);
+* the *backward* direction shifts ACK/NACK tokens with the same depth
+  and is modelled as reliable (ACK wires are short and heavily guarded
+  in the reference design; timeout-based recovery is out of scope).
+
+End-to-end timing: a flit driven by the sender in cycle *t* is visible
+to the receiver in cycle ``t + stages + 1`` (one cycle for the sender's
+output register -- the channel wire -- plus the link's internal
+stages).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+from repro.core.config import LinkConfig
+from repro.core.flit import Flit
+from repro.sim.channel import AckSignal, FlitChannel
+from repro.sim.component import Component
+
+
+class Link(Component):
+    """One direction-pair of wires between two network elements.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    up:
+        Channel whose sender side is driven by the upstream element.
+    down:
+        Channel whose receiver side is read by the downstream element.
+    config:
+        Pipeline depth and error rate.
+    seed:
+        Seed for this link's private error-injection PRNG, so whole
+        network simulations are reproducible link by link.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        up: FlitChannel,
+        down: FlitChannel,
+        config: LinkConfig,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.up = up
+        self.down = down
+        self._rng = random.Random(seed)
+        self._seed = seed
+        depth = config.stages - 1
+        self._fwd: Deque[Optional[Flit]] = deque([None] * depth)
+        self._bwd: Deque[Optional[AckSignal]] = deque([None] * depth)
+        self._depth = depth
+        self.flits_carried = 0
+        self.errors_injected = 0
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._fwd = deque([None] * self._depth)
+        self._bwd = deque([None] * self._depth)
+        self.flits_carried = 0
+        self.errors_injected = 0
+
+    def _inject(self, flit: Optional[Flit]) -> Optional[Flit]:
+        if flit is None:
+            return None
+        self.flits_carried += 1
+        if self.config.error_rate > 0.0 and self._rng.random() < self.config.error_rate:
+            self.errors_injected += 1
+            if self.config.bit_errors:
+                # Bit-accurate mode: flip one real bit (sometimes two --
+                # adjacent coupling faults); detection is the CRC's job.
+                first = self._rng.randrange(flit.width)
+                positions = [first]
+                if self._rng.random() < 0.25 and flit.width > 1:
+                    positions.append((first + 1) % flit.width)
+                return flit.flip_bits(positions)
+            return flit.corrupt()
+        return flit
+
+    def tick(self, cycle: int) -> None:
+        # Forward path: sample the upstream wire, shift the pipe.
+        incoming = self._inject(self.up.peek_flit())
+        if self._depth == 0:
+            outgoing = incoming
+        else:
+            self._fwd.append(incoming)
+            outgoing = self._fwd.popleft()
+        if outgoing is not None:
+            self.down.send(outgoing)
+
+        # Backward path: ACK/NACK tokens ride the same pipeline depth.
+        ack_in = self.down.peek_ack()
+        if self._depth == 0:
+            ack_out = ack_in
+        else:
+            self._bwd.append(ack_in)
+            ack_out = self._bwd.popleft()
+        if ack_out is not None:
+            self.up.send_ack(ack_out)

@@ -1,0 +1,483 @@
+"""Network interfaces: the OCP <-> packet boundary.
+
+The NI is split front end / back end exactly as in the paper:
+
+* the **front end** speaks OCP to the attached core -- transaction
+  centric, independent request and response flows, bursts, sideband
+  interrupts and thread IDs;
+* the **back end** speaks the network protocol -- it packetizes each
+  transaction into one header register plus one payload register per
+  burst beat, decomposes them into flits, and drives a go-back-N
+  ACK/NACK sender toward the local switch (and the mirror image on the
+  receive side).
+
+Two flavours exist: :class:`InitiatorNI` (master core side: CPUs, DMAs)
+and :class:`TargetNI` (slave core side: memories, peripherals).  Their
+LUTs come from the xpipesCompiler as :class:`~repro.core.routing.RoutingTable`
+objects: the initiator LUT maps MAddr upper bits to (destination,
+route); the target LUT maps an initiator id to the response route.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.config import NiConfig
+from repro.core.crc import CrcCodec
+from repro.core.credit import CreditReceiver, CreditSender
+from repro.core.flit import Flit
+from repro.core.flow_control import GoBackNReceiver, GoBackNSender, window_for_link
+from repro.core.ocp import (
+    BurstTransaction,
+    OcpCmd,
+    OcpMasterPort,
+    OcpResponse,
+    OcpSlavePort,
+    SidebandEvent,
+    SResp,
+)
+from repro.core.packet import Packet, PacketHeader, PacketKind
+from repro.core.packetizer import Depacketizer, Packetizer
+from repro.core.routing import RoutingTable
+from repro.sim.channel import FlitChannel
+from repro.sim.component import Component
+from repro.sim.stats import LatencySampler
+
+
+class NiProtocolError(RuntimeError):
+    """The NI observed traffic that violates its end-to-end protocol."""
+
+
+class _BackEndTx:
+    """Shared transmit back end: packet queue -> flit stream -> go-back-N."""
+
+    def __init__(self, packetizer: Packetizer, sender: GoBackNSender, capacity: int) -> None:
+        self.packetizer = packetizer
+        self.sender = sender
+        self.capacity = capacity
+        self._flits: Deque[Flit] = deque()
+        self._queued_packets = 0
+        self.packets_sent = 0
+
+    def reset(self) -> None:
+        self._flits.clear()
+        self._queued_packets = 0
+        self.packets_sent = 0
+        self.sender.reset()
+
+    def can_accept_packet(self) -> bool:
+        return self._queued_packets < self.capacity
+
+    def submit(self, packet: Packet, cycle: int) -> None:
+        if not self.can_accept_packet():
+            raise NiProtocolError("back end packet queue overflow")
+        flits = self.packetizer.decompose(packet, birth_cycle=cycle)
+        self._flits.extend(flits)
+        self._queued_packets += 1
+        self.packets_sent += 1
+
+    def on_cycle(self) -> None:
+        if self._flits and self.sender.can_accept():
+            flit = self._flits.popleft()
+            if flit.is_tail:
+                self._queued_packets -= 1
+            self.sender.enqueue(flit)
+        self.sender.on_cycle()
+
+    @property
+    def idle(self) -> bool:
+        return not self._flits and self.sender.idle
+
+
+class InitiatorNI(Component):
+    """NI attached to an OCP master core (CPU, DSP, DMA...).
+
+    Request path: OCP transaction -> LUT lookup -> header + payload
+    registers -> flit decomposition -> ACK/NACK sender.  Response path:
+    ACK/NACK receiver -> reassembly -> OCP response, matched to the
+    oldest outstanding transaction for the same (target, thread) pair
+    (the network delivers in order per path and per thread).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        config: NiConfig,
+        ocp: OcpMasterPort,
+        req_channel: FlitChannel,
+        resp_channel: FlitChannel,
+        routing: RoutingTable,
+        link_window: Optional[int] = None,
+        codec: Optional[CrcCodec] = None,
+        credit_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.node_id = node_id
+        self.config = config
+        self.ocp = ocp
+        self.routing = routing
+        window = link_window if link_window is not None else window_for_link(1)
+        if credit_capacity is not None:
+            # Credit mode: the downstream input buffer has
+            # ``credit_capacity`` slots; receive side grants our own
+            # buffer_depth back to the switch.
+            sender = CreditSender(req_channel, credit_capacity, name=f"{name}.tx")
+            self.rx = CreditReceiver(resp_channel, name=f"{name}.rx")
+        else:
+            sender = GoBackNSender(req_channel, window, name=f"{name}.tx", codec=codec)
+            self.rx = GoBackNReceiver(resp_channel, name=f"{name}.rx", codec=codec)
+        self.tx = _BackEndTx(
+            Packetizer(config.params),
+            sender,
+            capacity=config.max_outstanding,
+        )
+        self._credit_mode = credit_capacity is not None
+        self.depacketizer = Depacketizer(config.params)
+        self._last_txn_id: Optional[int] = None
+        # txn_id queues keyed by (target node id, thread id); response
+        # packets identify their origin via header.src_id.
+        self._outstanding: Dict[Tuple[int, int], Deque[BurstTransaction]] = {}
+        self._outstanding_count = 0
+        self._resp_queue: Deque[OcpResponse] = deque()
+        self._sideband_queue: Deque[SidebandEvent] = deque()
+        # OCP threading: per-thread issue order + resequencing buffer
+        # (used when config.enforce_thread_order is set).
+        self._thread_order: Dict[int, Deque[int]] = {}
+        self._reorder: Dict[int, OcpResponse] = {}
+        # instrumentation
+        self.transactions_issued = 0
+        self.responses_delivered = 0
+        self.interrupts_delivered = 0
+        #: Pure network latency: packet injection -> full reassembly,
+        #: excluding OCP handshakes and memory service time.
+        self.packet_latency = LatencySampler(f"{name}.pkt_latency")
+
+    def reset(self) -> None:
+        self.tx.reset()
+        self.rx.reset()
+        self.depacketizer.reset()
+        self.packet_latency.reset()
+        self._last_txn_id = None
+        self._outstanding.clear()
+        self._outstanding_count = 0
+        self._resp_queue.clear()
+        self._sideband_queue.clear()
+        self._thread_order.clear()
+        self._reorder.clear()
+        self.transactions_issued = 0
+        self.responses_delivered = 0
+        self.interrupts_delivered = 0
+
+    @property
+    def idle(self) -> bool:
+        """No transaction in flight anywhere in this NI."""
+        return (
+            self.tx.idle
+            and self._outstanding_count == 0
+            and not self._resp_queue
+            and not self._reorder
+            and not self.depacketizer.busy
+        )
+
+    # -- request path ------------------------------------------------------
+    def _try_accept_request(self, cycle: int) -> None:
+        txn = self.ocp.peek_request()
+        if txn is None or txn.txn_id == self._last_txn_id:
+            return
+        if not self.tx.can_accept_packet():
+            return
+        if self._outstanding_count >= self.config.max_outstanding:
+            return
+        target, dest_id, offset, route = self.routing.lookup_addr(txn.addr)
+        if txn.is_read:
+            kind = PacketKind.READ_REQ
+        elif self.config.posted_writes:
+            kind = PacketKind.WRITE_POSTED
+        else:
+            kind = PacketKind.WRITE_REQ
+        header = PacketHeader(
+            route=tuple(route),
+            kind=kind,
+            src_id=self.node_id,
+            burst_len=txn.burst_len,
+            addr=offset,
+            thread_id=txn.thread_id,
+        )
+        packet = Packet(header=header, payload=tuple(txn.data))
+        self.tx.submit(packet, cycle)
+        local_ack = kind is PacketKind.WRITE_POSTED
+        if not local_ack:
+            self._outstanding.setdefault((dest_id, txn.thread_id), deque()).append(txn)
+            self._outstanding_count += 1
+        self._last_txn_id = txn.txn_id
+        self.ocp.accept_request(txn.txn_id)
+        self.transactions_issued += 1
+        resp = (
+            OcpResponse(txn_id=txn.txn_id, sresp=SResp.DVA, thread_id=txn.thread_id)
+            if local_ack
+            else None
+        )
+        if self.config.enforce_thread_order:
+            self._thread_order.setdefault(txn.thread_id, deque()).append(txn.txn_id)
+            if resp is not None:
+                self._reorder[txn.txn_id] = resp
+        elif resp is not None:
+            self._resp_queue.append(resp)
+        self.trace(cycle, "issue", txn=txn.txn_id, target=target, kind=kind.name)
+
+    # -- response path -----------------------------------------------------
+    def _accept_resp_flit(self, _flit: Flit) -> bool:
+        return len(self._resp_queue) < self.config.max_outstanding
+
+    def _handle_response_packet(self, packet: Packet, cycle: int) -> None:
+        header = packet.header
+        if header.kind is PacketKind.INTERRUPT:
+            self._sideband_queue.append(
+                SidebandEvent(source_id=header.src_id, vector=header.addr)
+            )
+            return
+        if not header.kind.is_response:
+            raise NiProtocolError(f"{self.name}: unexpected {header.kind.name} packet")
+        key = (header.src_id, header.thread_id)
+        pending = self._outstanding.get(key)
+        if not pending:
+            raise NiProtocolError(
+                f"{self.name}: response from node {header.src_id} "
+                f"thread {header.thread_id} with nothing outstanding"
+            )
+        txn = pending.popleft()
+        self._outstanding_count -= 1
+        if header.kind is PacketKind.READ_RESP and not txn.is_read:
+            raise NiProtocolError(f"{self.name}: READ_RESP for a write (txn {txn.txn_id})")
+        if header.kind is PacketKind.WRITE_ACK and not txn.is_write:
+            raise NiProtocolError(f"{self.name}: WRITE_ACK for a read (txn {txn.txn_id})")
+        resp = OcpResponse(
+            txn_id=txn.txn_id,
+            sresp=SResp.DVA,
+            data=tuple(packet.payload),
+            thread_id=header.thread_id,
+        )
+        if self.config.enforce_thread_order:
+            # Resequencing buffer: hold until this is the oldest
+            # incomplete transaction of its thread.
+            self._reorder[txn.txn_id] = resp
+        else:
+            self._resp_queue.append(resp)
+        self.trace(cycle, "response", txn=txn.txn_id, kind=header.kind.name)
+
+    def _drain_reorder(self) -> None:
+        """Release resequenced responses in per-thread issue order."""
+        for order in self._thread_order.values():
+            while order and order[0] in self._reorder:
+                self._resp_queue.append(self._reorder.pop(order.popleft()))
+
+    def tick(self, cycle: int) -> None:
+        # Front end: new OCP request?
+        self._try_accept_request(cycle)
+        # Back end transmit.
+        self.tx.on_cycle()
+        # Back end receive: at most one flit per cycle.
+        if self._credit_mode:
+            flit = self.rx.poll()
+            if flit is not None:
+                self.rx.grant()
+            self.rx.on_cycle()
+        else:
+            flit = self.rx.poll(self._accept_resp_flit)
+        if flit is not None:
+            packet = self.depacketizer.feed(flit)
+            if packet is not None:
+                if packet.birth_cycle >= 0:
+                    self.packet_latency.samples.append(cycle - packet.birth_cycle)
+                self._handle_response_packet(packet, cycle)
+        if self.config.enforce_thread_order:
+            self._drain_reorder()
+        # Front end: present the oldest completed response until accepted.
+        if self._resp_queue:
+            accepted_id = self.ocp.accepted_response_id()
+            if accepted_id is not None and accepted_id == self._resp_queue[0].txn_id:
+                self._resp_queue.popleft()
+                self.responses_delivered += 1
+            if self._resp_queue:
+                self.ocp.drive_response(self._resp_queue[0])
+        # Sideband interrupts are single-cycle pulses toward the core.
+        if self._sideband_queue:
+            self.ocp.raise_sideband(self._sideband_queue.popleft())
+            self.interrupts_delivered += 1
+
+
+class TargetNI(Component):
+    """NI attached to an OCP slave core (memory, peripheral...).
+
+    Receive path: flits -> reassembled request packet -> OCP request to
+    the slave (addresses are the in-region offsets carried by the
+    header).  Transmit path: slave response -> response packet routed
+    back via the reverse LUT -> flits.  Sideband events raised by the
+    slave become INTERRUPT packets to a configurable initiator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        config: NiConfig,
+        ocp: OcpSlavePort,
+        req_channel: FlitChannel,
+        resp_channel: FlitChannel,
+        routing: RoutingTable,
+        link_window: Optional[int] = None,
+        interrupt_target: Optional[int] = None,
+        codec: Optional[CrcCodec] = None,
+        credit_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.node_id = node_id
+        self.config = config
+        self.ocp = ocp
+        self.routing = routing
+        self.interrupt_target = interrupt_target
+        window = link_window if link_window is not None else window_for_link(1)
+        if credit_capacity is not None:
+            sender = CreditSender(resp_channel, credit_capacity, name=f"{name}.tx")
+            self.rx = CreditReceiver(req_channel, name=f"{name}.rx")
+        else:
+            sender = GoBackNSender(resp_channel, window, name=f"{name}.tx", codec=codec)
+            self.rx = GoBackNReceiver(req_channel, name=f"{name}.rx", codec=codec)
+        self.tx = _BackEndTx(
+            Packetizer(config.params),
+            sender,
+            capacity=config.max_outstanding,
+        )
+        self._credit_mode = credit_capacity is not None
+        self.depacketizer = Depacketizer(config.params)
+        self._req_queue: Deque[Tuple[BurstTransaction, PacketHeader]] = deque()
+        self._issued: Dict[int, PacketHeader] = {}  # local txn_id -> request header
+        self._current: Optional[BurstTransaction] = None
+        self._last_resp_txn: Optional[int] = None
+        # instrumentation
+        self.requests_served = 0
+        #: Pure network latency of incoming request packets.
+        self.packet_latency = LatencySampler(f"{name}.pkt_latency")
+
+    def reset(self) -> None:
+        self.tx.reset()
+        self.rx.reset()
+        self.depacketizer.reset()
+        self.packet_latency.reset()
+        self._req_queue.clear()
+        self._issued.clear()
+        self._current = None
+        self._last_resp_txn = None
+        self.requests_served = 0
+
+    @property
+    def idle(self) -> bool:
+        return (
+            self.tx.idle
+            and not self._req_queue
+            and not self._issued
+            and self._current is None
+            and not self.depacketizer.busy
+        )
+
+    def _accept_req_flit(self, _flit: Flit) -> bool:
+        return len(self._req_queue) < self.config.max_outstanding
+
+    def _handle_request_packet(self, packet: Packet, cycle: int) -> None:
+        header = packet.header
+        if not header.kind.is_request:
+            raise NiProtocolError(f"{self.name}: unexpected {header.kind.name} packet")
+        cmd = OcpCmd.READ if header.kind is PacketKind.READ_REQ else OcpCmd.WRITE
+        txn = BurstTransaction(
+            cmd=cmd,
+            addr=header.addr,
+            burst_len=header.burst_len,
+            data=tuple(packet.payload),
+            thread_id=header.thread_id,
+            issue_cycle=cycle,
+        )
+        self._req_queue.append((txn, header))
+        self.trace(cycle, "request", src=header.src_id, kind=header.kind.name)
+
+    def _respond(self, resp: OcpResponse, cycle: int) -> None:
+        header = self._issued.pop(resp.txn_id)
+        if header.kind is PacketKind.WRITE_POSTED:
+            # Fire-and-forget: the initiator already acknowledged
+            # locally; the slave's response is consumed and dropped.
+            self.requests_served += 1
+            self.trace(cycle, "posted-done", src=header.src_id)
+            return
+        route = self.routing.route_back(header.src_id)
+        kind = PacketKind.READ_RESP if header.kind is PacketKind.READ_REQ else PacketKind.WRITE_ACK
+        burst = header.burst_len
+        resp_header = PacketHeader(
+            route=tuple(route),
+            kind=kind,
+            src_id=self.node_id,
+            burst_len=burst,
+            addr=0,
+            thread_id=header.thread_id,
+        )
+        payload = tuple(resp.data) if kind is PacketKind.READ_RESP else ()
+        self.tx.submit(Packet(header=resp_header, payload=payload), cycle)
+        self.requests_served += 1
+        self.trace(cycle, "respond", dst=header.src_id, kind=kind.name)
+
+    def _send_interrupt(self, event: SidebandEvent, cycle: int) -> None:
+        if self.interrupt_target is None:
+            return  # no interrupt consumer configured: drop silently
+        route = self.routing.route_back(self.interrupt_target)
+        header = PacketHeader(
+            route=tuple(route),
+            kind=PacketKind.INTERRUPT,
+            src_id=self.node_id,
+            burst_len=0,
+            addr=event.vector,
+            thread_id=0,
+        )
+        self.tx.submit(Packet(header=header), cycle)
+
+    def tick(self, cycle: int) -> None:
+        # Receive path: at most one flit per cycle.
+        if self._credit_mode:
+            flit = self.rx.poll()
+            if flit is not None:
+                self.rx.grant()
+            self.rx.on_cycle()
+        else:
+            flit = self.rx.poll(self._accept_req_flit)
+        if flit is not None:
+            packet = self.depacketizer.feed(flit)
+            if packet is not None:
+                if packet.birth_cycle >= 0:
+                    self.packet_latency.samples.append(cycle - packet.birth_cycle)
+                self._handle_request_packet(packet, cycle)
+
+        # Issue the oldest reassembled request to the slave core.
+        if self._current is None and self._req_queue:
+            txn, header = self._req_queue.popleft()
+            self._current = txn
+            self._issued[txn.txn_id] = header
+        if self._current is not None:
+            if self.ocp.accepted_request_id() == self._current.txn_id:
+                self._current = None
+            else:
+                self.ocp.drive_request(self._current)
+
+        # Collect the slave's response (deduplicated by txn id).
+        resp = self.ocp.peek_response()
+        if resp is not None and resp.txn_id != self._last_resp_txn:
+            if resp.txn_id in self._issued and self.tx.can_accept_packet():
+                self._last_resp_txn = resp.txn_id
+                self.ocp.accept_response(resp.txn_id)
+                self._respond(resp, cycle)
+
+        # Sideband from the slave becomes an INTERRUPT packet.
+        event = self.ocp.peek_sideband()
+        if event is not None and self.tx.can_accept_packet():
+            self._send_interrupt(event, cycle)
+
+        # Back end transmit.
+        self.tx.on_cycle()

@@ -1,0 +1,159 @@
+"""Source-based routing.
+
+xpipes Lite switches do not hold routing tables: the whole path is
+computed at design time by the xpipesCompiler and carried in each packet
+header as a sequence of output-port indices ("source based routing").
+The only lookup hardware is the LUT inside each NI:
+
+* the **initiator NI** LUT maps the OCP MAddr's upper bits to a
+  destination and its pre-computed route;
+* the **target NI** LUT maps an initiator id (from the request header)
+  to the response route back.
+
+This module defines the :class:`Route` value, the :class:`AddressMap`
+that assigns each target a region of the address space, the two LUT
+flavours bundled as :class:`RoutingTable`, and
+:func:`compute_routes`, which walks a topology object (duck-typed; see
+:class:`repro.network.topology.Topology`) and produces the port-index
+sequence for every NI pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.packet import ADDR_OFFSET_BITS
+
+
+@dataclass(frozen=True)
+class Route:
+    """A source route: one output-port index per switch traversed."""
+
+    ports: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for p in self.ports:
+            if p < 0:
+                raise ValueError("port indices are non-negative")
+
+    def __len__(self) -> int:
+        return len(self.ports)
+
+    def __iter__(self):
+        return iter(self.ports)
+
+    def __getitem__(self, i: int) -> int:
+        return self.ports[i]
+
+    @property
+    def hops(self) -> int:
+        return len(self.ports)
+
+
+class AddressMap:
+    """Assigns each target NI a naturally aligned address region.
+
+    Target ``i`` (in registration order) owns addresses
+    ``[i << ADDR_OFFSET_BITS, (i + 1) << ADDR_OFFSET_BITS)``.  This is
+    the "MAddr after LUT" split from the paper: the upper bits select
+    the destination, the lower bits travel in the header as the offset.
+    """
+
+    def __init__(self, targets: Iterable[str]) -> None:
+        self._slots: Dict[str, int] = {}
+        for i, name in enumerate(targets):
+            if name in self._slots:
+                raise ValueError(f"duplicate target {name!r}")
+            self._slots[name] = i
+
+    @property
+    def targets(self) -> List[str]:
+        return sorted(self._slots, key=self._slots.get)
+
+    def base_of(self, target: str) -> int:
+        return self._slots[target] << ADDR_OFFSET_BITS
+
+    def region_of(self, target: str) -> Tuple[int, int]:
+        base = self.base_of(target)
+        return base, base + (1 << ADDR_OFFSET_BITS)
+
+    def decode(self, addr: int) -> Tuple[str, int]:
+        """Split an MAddr into (target name, offset)."""
+        slot = addr >> ADDR_OFFSET_BITS
+        offset = addr & ((1 << ADDR_OFFSET_BITS) - 1)
+        for name, s in self._slots.items():
+            if s == slot:
+                return name, offset
+        raise KeyError(f"address {addr:#x} maps to no target (slot {slot})")
+
+    def __contains__(self, target: str) -> bool:
+        return target in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+
+class RoutingTable:
+    """The LUT contents of one NI.
+
+    For an initiator NI, ``forward`` maps a target name to
+    ``(dest_node_id, Route)``.  For a target NI, ``reverse`` maps an
+    initiator node id to the response :class:`Route`.
+    """
+
+    def __init__(
+        self,
+        address_map: Optional[AddressMap] = None,
+        forward: Optional[Mapping[str, Tuple[int, Route]]] = None,
+        reverse: Optional[Mapping[int, Route]] = None,
+    ) -> None:
+        self.address_map = address_map
+        self.forward: Dict[str, Tuple[int, Route]] = dict(forward or {})
+        self.reverse: Dict[int, Route] = dict(reverse or {})
+
+    # -- initiator side ---------------------------------------------------
+    def lookup_addr(self, addr: int) -> Tuple[str, int, int, Route]:
+        """Decode an MAddr: (target name, dest node id, offset, route)."""
+        if self.address_map is None:
+            raise ValueError("this routing table has no address map")
+        target, offset = self.address_map.decode(addr)
+        dest_id, route = self.forward[target]
+        return target, dest_id, offset, route
+
+    # -- target side ------------------------------------------------------
+    def route_back(self, initiator_id: int) -> Route:
+        return self.reverse[initiator_id]
+
+
+def compute_routes(topology, policy: str = "shortest") -> Dict[Tuple[str, str], Route]:
+    """Port-index routes between every (initiator NI, target NI) pair.
+
+    ``topology`` is duck-typed and must provide ``initiators``,
+    ``targets``, ``switch_of(ni)``, ``switch_path(src, dst, policy)``
+    and ``port_toward(switch, neighbor)`` -- see
+    :class:`repro.network.topology.Topology`.  Responses reuse the same
+    function with the roles swapped, so routes exist in both directions.
+
+    The route for a pair is: for each switch on the path, the output
+    port toward the next element (the next switch, or the destination NI
+    at the last switch).
+    """
+    routes: Dict[Tuple[str, str], Route] = {}
+    pairs = [(a, b) for a in topology.initiators for b in topology.targets]
+    pairs += [(b, a) for a in topology.initiators for b in topology.targets]
+    for src, dst in pairs:
+        routes[(src, dst)] = route_between(topology, src, dst, policy)
+    return routes
+
+
+def route_between(topology, src_ni: str, dst_ni: str, policy: str = "shortest") -> Route:
+    """The source route from one NI to another (see :func:`compute_routes`)."""
+    src_sw = topology.switch_of(src_ni)
+    dst_sw = topology.switch_of(dst_ni)
+    path = topology.switch_path(src_sw, dst_sw, policy)
+    ports = []
+    for i, sw in enumerate(path):
+        nxt = path[i + 1] if i + 1 < len(path) else dst_ni
+        ports.append(topology.port_toward(sw, nxt))
+    return Route(tuple(ports))

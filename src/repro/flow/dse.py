@@ -1,0 +1,130 @@
+"""Design-space exploration: the paper's concluding claim, as a tool.
+
+"Allows faster & more accurate design space exploration" -- this module
+is that loop: sweep topology x flit width x buffer depth for one
+application, estimate every point with the synthesis models (seconds,
+not synthesis runs), and keep the Pareto frontier over
+(latency, area, power).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import NocParameters
+from repro.flow.selection import CandidateResult, evaluate_candidate
+from repro.flow.taskgraph import CoreGraph
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import Topology
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of the design space."""
+
+    topology_name: str
+    flit_width: int
+    buffer_depth: int
+    latency_ns: float
+    area_mm2: float
+    power_mw: float
+    freq_mhz: float
+    feasible: bool
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance over (latency, area, power); feasibility is
+        a hard gate -- an infeasible point never dominates."""
+        if not self.feasible:
+            return False
+        if other.feasible:
+            no_worse = (
+                self.latency_ns <= other.latency_ns
+                and self.area_mm2 <= other.area_mm2
+                and self.power_mw <= other.power_mw
+            )
+            better = (
+                self.latency_ns < other.latency_ns
+                or self.area_mm2 < other.area_mm2
+                or self.power_mw < other.power_mw
+            )
+            return no_worse and better
+        return True  # feasible always dominates infeasible
+
+    def row(self) -> str:
+        flag = " " if self.feasible else "!"
+        return (
+            f"{flag}{self.topology_name:<12} flit{self.flit_width:<4} "
+            f"buf{self.buffer_depth:<3} {self.latency_ns:>7.2f} ns "
+            f"{self.area_mm2:>7.3f} mm2 {self.power_mw:>8.1f} mW "
+            f"@{self.freq_mhz:>5.0f} MHz"
+        )
+
+
+def explore_design_space(
+    core_graph: CoreGraph,
+    candidates: Sequence[Topology],
+    flit_widths: Iterable[int] = (16, 32, 64),
+    buffer_depths: Iterable[int] = (4, 6),
+    target_freq_mhz: float = 1000.0,
+    max_radix: int = 8,
+    seed: int = 0,
+    anneal_iterations: int = 600,
+) -> List[DesignPoint]:
+    """Evaluate the full cross product; returns every point."""
+    if not candidates:
+        raise ValueError("need at least one candidate topology")
+    points: List[DesignPoint] = []
+    for fabric in candidates:
+        for width in flit_widths:
+            for depth in buffer_depths:
+                cfg = NocBuildConfig(
+                    params=NocParameters(flit_width=width),
+                    buffer_depth=depth,
+                )
+                result: CandidateResult = evaluate_candidate(
+                    core_graph,
+                    copy.deepcopy(fabric),
+                    config=cfg,
+                    target_freq_mhz=target_freq_mhz,
+                    max_radix=max_radix,
+                    anneal_iterations=anneal_iterations,
+                    seed=seed,
+                )
+                points.append(
+                    DesignPoint(
+                        topology_name=fabric.name,
+                        flit_width=width,
+                        buffer_depth=depth,
+                        latency_ns=result.mean_latency_ns,
+                        area_mm2=result.area_mm2,
+                        power_mw=result.power_mw,
+                        freq_mhz=result.freq_mhz,
+                        feasible=result.feasible,
+                    )
+                )
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points, sorted by latency."""
+    frontier = [
+        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    frontier.sort(key=lambda p: (p.latency_ns, p.area_mm2))
+    return frontier
+
+
+def render_space(
+    points: Sequence[DesignPoint],
+    frontier: Optional[Sequence[DesignPoint]] = None,
+    title: str = "design space",
+) -> str:
+    frontier = list(frontier or [])
+    on_frontier = set(id(p) for p in frontier)
+    lines = [f"{title} ({len(points)} points, {len(frontier)} on the frontier)"]
+    for p in sorted(points, key=lambda p: (p.topology_name, p.flit_width, p.buffer_depth)):
+        marker = "*" if id(p) in on_frontier else " "
+        lines.append(f" {marker}{p.row()}")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Topology selection: the "power of abstraction" loop.
+
+For each candidate fabric the flow maps the application, floorplans,
+pipelines the links, runs the analytic synthesis models and estimates
+average transaction latency -- then ranks candidates by a user-weighted
+objective.  This is the paper's F7 experiment: different topologies for
+the same application trade clock frequency, area and cycle counts
+(e.g. 925 MHz / 0.51 mm² / +10% performance vs 850 MHz / 0.42 mm² /
+-14% area).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.flow.bandwidth import LinkLoad, check_feasibility
+from repro.flow.floorplan import Floorplan, floorplan_topology
+from repro.flow.mapping import anneal_mapping, apply_mapping, greedy_mapping, mapping_cost
+from repro.flow.taskgraph import CoreGraph
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import Topology
+from repro.synth.report import SynthesisReport, synthesize_noc
+
+#: Cycles a flit spends per hop: 2 switch pipeline stages + 1 link stage.
+CYCLES_PER_HOP = 3
+#: Fixed NI cycles per transaction (packetize + depacketize, both ends).
+NI_OVERHEAD_CYCLES = 6
+
+
+@dataclass
+class CandidateResult:
+    """Evaluation of one candidate topology for one application."""
+
+    topology: Topology
+    mapping: Dict[str, str]
+    floorplan: Floorplan
+    report: SynthesisReport
+    freq_mhz: float
+    area_mm2: float
+    power_mw: float
+    mean_cycles: float  # demand-weighted transaction latency in cycles
+    mean_latency_ns: float
+    mapping_cost: float
+    feasible: bool = True  # all links within bandwidth margin
+    overloaded: "List[LinkLoad]" = None  # type: ignore[assignment]
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<16} {self.freq_mhz:>7.0f} MHz {self.area_mm2:>7.3f} mm2 "
+            f"{self.power_mw:>8.1f} mW {self.mean_cycles:>6.1f} cyc "
+            f"{self.mean_latency_ns:>7.2f} ns"
+        )
+
+
+def estimate_mean_cycles(
+    core_graph: CoreGraph,
+    topology: Topology,
+    mapping: Dict[str, str],
+    params: "NocParameters | None" = None,
+    burst_len: int = 4,
+) -> float:
+    """Demand-weighted average one-way transaction latency in cycles.
+
+    Three terms per demand: hop traversal (``CYCLES_PER_HOP`` each), the
+    fixed NI overhead, and wormhole serialization -- a packet of *n*
+    flits finishes *n - 1* cycles after its head, so narrow flits pay
+    for their cheap datapaths in latency (the tradeoff the A3 ablation
+    measures and the DSE sweeps).
+    """
+    from repro.core.config import NocParameters
+    from repro.flow.bandwidth import flits_per_transaction
+
+    params = params or NocParameters()
+    serialization = flits_per_transaction(params, burst_len) - 1
+    hops = dict(nx.all_pairs_shortest_path_length(topology.graph))
+    total_rate = 0.0
+    total_cycles = 0.0
+    for src, dst, rate in core_graph.demands():
+        hop_count = hops[mapping[src]][mapping[dst]] + 1  # + ejection hop
+        total_cycles += rate * (
+            hop_count * CYCLES_PER_HOP + NI_OVERHEAD_CYCLES + serialization
+        )
+        total_rate += rate
+    if total_rate == 0:
+        return float(NI_OVERHEAD_CYCLES + serialization)
+    return total_cycles / total_rate
+
+
+def evaluate_candidate(
+    core_graph: CoreGraph,
+    fabric: Topology,
+    config: Optional[NocBuildConfig] = None,
+    target_freq_mhz: float = 1000.0,
+    max_radix: int = 8,
+    anneal_iterations: int = 1500,
+    seed: int = 0,
+) -> CandidateResult:
+    """Map, floorplan and estimate one candidate fabric.
+
+    The fabric is deep-copied before cores are attached, so callers can
+    reuse candidate objects across evaluations.
+    """
+    fabric = copy.deepcopy(fabric)
+    mapping = anneal_mapping(
+        core_graph,
+        fabric,
+        initial=greedy_mapping(core_graph, fabric, max_radix),
+        max_radix=max_radix,
+        iterations=anneal_iterations,
+        seed=seed,
+    )
+    topo = apply_mapping(fabric, core_graph, mapping)
+    plan = floorplan_topology(topo)
+    report = synthesize_noc(topo, config, target_freq_mhz=target_freq_mhz)
+    freq = min(report.min_max_freq_mhz, target_freq_mhz)
+    cfg = config
+    params = cfg.params if cfg is not None else None
+    if params is None:
+        from repro.core.config import NocParameters
+
+        params = NocParameters()
+    cycles = estimate_mean_cycles(core_graph, topo, mapping, params=params)
+    feasible, overloaded = check_feasibility(topo, core_graph, params)
+    return CandidateResult(
+        topology=topo,
+        mapping=mapping,
+        floorplan=plan,
+        report=report,
+        freq_mhz=freq,
+        area_mm2=report.total_area_mm2,
+        power_mw=report.total_power_mw,
+        mean_cycles=cycles,
+        mean_latency_ns=cycles / (freq / 1000.0),
+        mapping_cost=mapping_cost(core_graph, topo, mapping),
+        feasible=feasible,
+        overloaded=overloaded,
+    )
+
+
+def select_topology(
+    core_graph: CoreGraph,
+    candidates: Sequence[Topology],
+    config: Optional[NocBuildConfig] = None,
+    target_freq_mhz: float = 1000.0,
+    objective: Optional[Callable[[CandidateResult], float]] = None,
+    max_radix: int = 8,
+    seed: int = 0,
+) -> List[CandidateResult]:
+    """Evaluate all candidates; return them sorted best-first.
+
+    The default objective minimizes latency x area (a standard
+    energy-delay-style product); pass ``objective`` to re-weight, e.g.
+    ``lambda r: r.area_mm2`` for an area-driven selection.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate topology")
+    if objective is None:
+        # Minimise latency x area; bandwidth-infeasible candidates are
+        # pushed to the bottom regardless of their other merits.
+        objective = lambda r: (  # noqa: E731
+            (0 if r.feasible else 1),
+            r.mean_latency_ns * r.area_mm2,
+        )
+    results = [
+        evaluate_candidate(
+            core_graph,
+            fabric,
+            config=config,
+            target_freq_mhz=target_freq_mhz,
+            max_radix=max_radix,
+            seed=seed,
+        )
+        for fabric in candidates
+    ]
+    results.sort(key=objective)
+    return results

@@ -1,0 +1,219 @@
+"""Behavioural OCP cores: traffic-generating masters, memory slaves.
+
+These stand in for the processors and memories of the paper's SoC case
+studies.  They speak the registered OCP handshake of
+:mod:`repro.core.ocp` and carry the instrumentation (latency samples,
+issue/completion counters) the benchmarks read out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.ocp import (
+    BurstTransaction,
+    OcpCmd,
+    OcpMasterPort,
+    OcpResponse,
+    OcpSlavePort,
+    SidebandEvent,
+    SResp,
+)
+from repro.core.routing import AddressMap
+from repro.network.traffic import TrafficPattern
+from repro.sim.component import Component
+from repro.sim.stats import LatencySampler
+
+
+class OcpTrafficMaster(Component):
+    """An OCP master core driven by a traffic pattern.
+
+    Issues at most one request per cycle through its port, keeps up to
+    ``max_outstanding`` transactions in flight end to end, and records
+    request->response latency per transaction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port: OcpMasterPort,
+        pattern: TrafficPattern,
+        address_map: AddressMap,
+        max_outstanding: int = 4,
+        max_transactions: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        self.port = port
+        self.pattern = pattern
+        self.address_map = address_map
+        self.max_outstanding = max_outstanding
+        self.max_transactions = max_transactions
+        self.latency = LatencySampler(f"{name}.latency")
+        self._pending: Optional[BurstTransaction] = None  # driven, not accepted
+        self._in_flight: Set[int] = set()
+        self._completed: Set[int] = set()
+        self.issued = 0
+        self.completed = 0
+        self.read_data: Dict[int, Tuple[int, ...]] = {}
+        self.interrupts: List[SidebandEvent] = []
+
+    def reset(self) -> None:
+        self.pattern.reset()
+        self.latency.reset()
+        self._pending = None
+        self._in_flight = set()
+        self._completed = set()
+        self.issued = 0
+        self.completed = 0
+        self.read_data = {}
+        self.interrupts = []
+
+    @property
+    def done(self) -> bool:
+        """All allowed transactions issued and completed."""
+        if self._pending is not None or self._in_flight:
+            return False
+        return self.max_transactions is not None and self.issued >= self.max_transactions
+
+    @property
+    def quiescent(self) -> bool:
+        """Nothing in flight right now (pattern may still inject later)."""
+        return self._pending is None and not self._in_flight
+
+    def _build_txn(self, template, cycle: int) -> BurstTransaction:
+        base = self.address_map.base_of(template.target)
+        cmd = OcpCmd.READ if template.is_read else OcpCmd.WRITE
+        data: Tuple[int, ...] = ()
+        if not template.is_read:
+            # Deterministic, recognisable payload for end-to-end checks.
+            data = tuple((cycle + beat) & 0xFFFF for beat in range(template.burst_len))
+        return BurstTransaction(
+            cmd=cmd,
+            addr=base + template.offset,
+            burst_len=template.burst_len,
+            data=data,
+            thread_id=template.thread_id,
+            issue_cycle=cycle,
+        )
+
+    def tick(self, cycle: int) -> None:
+        # Request side: hold the pending transaction until accepted.
+        if self._pending is not None:
+            if self.port.accepted_request_id() == self._pending.txn_id:
+                self._in_flight.add(self._pending.txn_id)
+                self._pending = None
+            else:
+                self.port.drive_request(self._pending)
+        if self._pending is None and len(self._in_flight) < self.max_outstanding:
+            if self.max_transactions is None or self.issued < self.max_transactions:
+                template = self.pattern.next_transaction(cycle)
+                if template is not None:
+                    txn = self._build_txn(template, cycle)
+                    self._pending = txn
+                    self.latency.start(txn.txn_id, cycle)
+                    self.issued += 1
+                    self.port.drive_request(txn)
+
+        # Response side: consume each response exactly once.
+        resp = self.port.peek_response()
+        if resp is not None and resp.txn_id not in self._completed:
+            if resp.txn_id in self._in_flight:
+                self._completed.add(resp.txn_id)
+                self._in_flight.discard(resp.txn_id)
+                self.port.accept_response(resp.txn_id)
+                self.latency.finish(resp.txn_id, cycle)
+                self.completed += 1
+                if resp.data:
+                    self.read_data[resp.txn_id] = resp.data
+
+        # Sideband: log delivered interrupts.
+        event = self.port.peek_sideband()
+        if event is not None:
+            self.interrupts.append(event)
+
+
+class OcpMemorySlave(Component):
+    """A word-addressed memory behind an OCP slave port.
+
+    Serves one transaction at a time: after ``wait_states`` cycles plus
+    one cycle per burst beat, the response is driven and held until the
+    NI consumes it.  An optional interrupt schedule raises sideband
+    events at given cycles (exercising the paper's sideband support).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port: OcpSlavePort,
+        wait_states: int = 1,
+        interrupt_schedule: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        super().__init__(name)
+        if wait_states < 0:
+            raise ValueError("wait_states must be >= 0")
+        self.port = port
+        self.wait_states = wait_states
+        self.memory: Dict[int, int] = {}
+        self.interrupt_schedule = sorted(interrupt_schedule or [])
+        self._irq_pos = 0
+        self._busy_until: Optional[int] = None
+        self._current: Optional[BurstTransaction] = None
+        self._response: Optional[OcpResponse] = None
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def reset(self) -> None:
+        self.memory = {}
+        self._irq_pos = 0
+        self._busy_until = None
+        self._current = None
+        self._response = None
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def _execute(self, txn: BurstTransaction) -> OcpResponse:
+        if txn.is_write:
+            for beat, word in enumerate(txn.data):
+                self.memory[txn.addr + beat] = word
+            self.writes_served += 1
+            return OcpResponse(txn_id=txn.txn_id, sresp=SResp.DVA, thread_id=txn.thread_id)
+        data = tuple(self.memory.get(txn.addr + beat, 0) for beat in range(txn.burst_len))
+        self.reads_served += 1
+        return OcpResponse(
+            txn_id=txn.txn_id, sresp=SResp.DVA, data=data, thread_id=txn.thread_id
+        )
+
+    def tick(self, cycle: int) -> None:
+        # Accept a new request only when fully idle.
+        req = self.port.peek_request()
+        if (
+            req is not None
+            and self._current is None
+            and self._response is None
+        ):
+            self._current = req
+            self.port.accept_request(req.txn_id)
+            self._busy_until = cycle + self.wait_states + req.burst_len
+
+        # Service completes after the wait states elapse.
+        if self._current is not None and self._busy_until is not None:
+            if cycle >= self._busy_until:
+                self._response = self._execute(self._current)
+                self._current = None
+                self._busy_until = None
+
+        # Hold the response until the NI consumes it.
+        if self._response is not None:
+            if self.port.accepted_response_id() == self._response.txn_id:
+                self._response = None
+            else:
+                self.port.drive_response(self._response)
+
+        # Scheduled interrupts.
+        while (
+            self._irq_pos < len(self.interrupt_schedule)
+            and self.interrupt_schedule[self._irq_pos][0] <= cycle
+        ):
+            _, vector = self.interrupt_schedule[self._irq_pos]
+            self.port.raise_sideband(SidebandEvent(source_id=0, vector=vector))
+            self._irq_pos += 1

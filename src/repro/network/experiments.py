@@ -1,0 +1,118 @@
+"""Measurement methodology: warmed-up load sweeps.
+
+The canonical NoC evaluation is the latency-vs-offered-load curve: run
+open-loop traffic at increasing injection rates, discard a warmup
+window, measure over a steady window, and watch latency diverge at the
+saturation point.  This module packages that methodology so benches and
+studies don't each reinvent (and mis-measure) it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.network.noc import Noc
+from repro.network.traffic import UniformRandomTraffic
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One measured operating point of a load sweep."""
+
+    offered_rate: float  # injection attempts per master per cycle
+    accepted_rate: float  # completed transactions per cycle (whole NoC)
+    mean_latency: float
+    p95_latency: float
+    completed: int
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: queueing has blown latency past 4x the zero-load
+        ballpark (set by the sweep when it builds the point)."""
+        return self.mean_latency > 4 * max(self.p95_latency / 8.0, 1.0)
+
+
+def load_sweep(
+    build_noc: Callable[[], "Noc"],
+    rates: Sequence[float],
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    max_outstanding: int = 4,
+    seed: int = 0,
+) -> List[LoadPoint]:
+    """Latency/throughput at each offered load.
+
+    ``build_noc`` must return a fresh, *core-less* NoC (topology wired,
+    no masters/slaves attached); the sweep attaches uniform random
+    traffic at each rate, warms up, then measures only transactions
+    issued inside the measurement window.
+    """
+    if warmup_cycles < 0 or measure_cycles <= 0:
+        raise ValueError("invalid warmup/measurement window")
+    points = []
+    for rate in rates:
+        noc = build_noc()
+        targets = noc.topology.targets
+        initiators = noc.topology.initiators
+        if not initiators or not targets:
+            raise ValueError("the built NoC must have initiators and targets")
+        noc.populate(
+            {
+                c: UniformRandomTraffic(targets, rate, seed=seed + 17 * i)
+                for i, c in enumerate(initiators)
+            },
+            max_outstanding=max_outstanding,
+        )
+        noc.run(warmup_cycles)
+        # Snapshot, measure, diff: only steady-state samples count.
+        warm_counts = {c: len(noc.masters[c].latency.samples) for c in initiators}
+        noc.run(measure_cycles)
+        samples: List[int] = []
+        completed = 0
+        for c in initiators:
+            s = noc.masters[c].latency.samples[warm_counts[c]:]
+            samples.extend(s)
+            completed += len(s)
+        if samples:
+            samples.sort()
+            mean = sum(samples) / len(samples)
+            p95 = samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+        else:
+            mean = float("inf")
+            p95 = float("inf")
+        points.append(
+            LoadPoint(
+                offered_rate=rate,
+                accepted_rate=completed / measure_cycles,
+                mean_latency=mean,
+                p95_latency=float(p95),
+                completed=completed,
+            )
+        )
+    return points
+
+
+def saturation_rate(points: Sequence[LoadPoint], knee_factor: float = 3.0) -> Optional[float]:
+    """First offered rate whose mean latency exceeds ``knee_factor`` x
+    the lowest-load latency; ``None`` if the sweep never saturates."""
+    if not points:
+        return None
+    base = points[0].mean_latency
+    for p in points:
+        if p.mean_latency > knee_factor * base:
+            return p.offered_rate
+    return None
+
+
+def render_sweep(points: Sequence[LoadPoint], title: str = "load sweep") -> str:
+    lines = [
+        title,
+        f"{'offered':>8} {'accepted':>9} {'mean lat':>9} {'p95 lat':>8}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.offered_rate:>8.3f} {p.accepted_rate:>9.3f} "
+            f"{p.mean_latency:>9.1f} {p.p95_latency:>8.0f}"
+        )
+    return "\n".join(lines)

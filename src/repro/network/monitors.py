@@ -1,0 +1,123 @@
+"""Network observability: utilization, occupancy and protocol health.
+
+The SystemC simulation view of xpipes comes with monitors that designers
+use to find hotspots before committing to a topology.  This module adds
+the equivalents to the Python view:
+
+* :class:`NetworkMonitor` -- samples switch output-queue occupancy every
+  cycle and aggregates per-link utilization and ACK/NACK health counters
+  from the components' own instrumentation;
+* :func:`utilization_report` -- a printable per-link/per-switch summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:
+    from repro.network.noc import Noc
+
+
+@dataclass
+class QueueStats:
+    """Occupancy statistics of one switch output queue."""
+
+    samples: int = 0
+    total: int = 0
+    peak: int = 0
+
+    def record(self, depth: int) -> None:
+        self.samples += 1
+        self.total += depth
+        self.peak = max(self.peak, depth)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+@dataclass
+class LinkStats:
+    """Derived per-link counters."""
+
+    name: str
+    flits: int
+    errors: int
+    cycles: int
+
+    @property
+    def utilization(self) -> float:
+        return self.flits / self.cycles if self.cycles else 0.0
+
+
+class NetworkMonitor:
+    """Attachable probe suite for a :class:`~repro.network.noc.Noc`.
+
+    Construction registers a per-cycle watcher; call :meth:`snapshot`
+    (or :func:`utilization_report`) after the run.
+    """
+
+    def __init__(self, noc: "Noc") -> None:
+        self.noc = noc
+        self.cycles_observed = 0
+        self.queue_stats: Dict[str, QueueStats] = {}
+        for name, sw in noc.switches.items():
+            for port in sw.outputs:
+                self.queue_stats[f"{name}.out{port.index}"] = QueueStats()
+        noc.sim.add_watcher(self._sample)
+
+    def _sample(self, cycle: int) -> None:
+        self.cycles_observed += 1
+        for name, sw in self.noc.switches.items():
+            for port in sw.outputs:
+                self.queue_stats[f"{name}.out{port.index}"].record(len(port.queue))
+
+    # -- aggregation -------------------------------------------------------
+    def link_stats(self) -> List[LinkStats]:
+        return [
+            LinkStats(
+                name=link.name,
+                flits=link.flits_carried,
+                errors=link.errors_injected,
+                cycles=max(self.cycles_observed, 1),
+            )
+            for link in self.noc.links
+        ]
+
+    def hottest_links(self, n: int = 5) -> List[LinkStats]:
+        return sorted(self.link_stats(), key=lambda s: -s.utilization)[:n]
+
+    def hottest_queues(self, n: int = 5) -> List[tuple]:
+        ranked = sorted(self.queue_stats.items(), key=lambda kv: -kv[1].mean)
+        return ranked[:n]
+
+    def nack_ratio(self) -> float:
+        """Fraction of link-level receive events that were NACKed."""
+        acked = nacked = 0
+        receivers = [r for sw in self.noc.switches.values() for r in sw.receivers]
+        receivers += [ni.rx for ni in self.noc.initiator_nis.values()]
+        receivers += [ni.rx for ni in self.noc.target_nis.values()]
+        for r in receivers:
+            acked += r.accepted_flits
+            nacked += r.rejected_flits + r.corrupted_flits + r.out_of_order_flits
+        total = acked + nacked
+        return nacked / total if total else 0.0
+
+
+def utilization_report(monitor: NetworkMonitor, top: int = 5) -> str:
+    """Printable hotspot summary."""
+    lines = [
+        f"network monitor: {monitor.cycles_observed} cycles observed",
+        f"NACK ratio: {monitor.nack_ratio():.3f}",
+        f"top {top} links by utilization:",
+    ]
+    for s in monitor.hottest_links(top):
+        lines.append(
+            f"  {s.name:<32} {s.utilization:6.3f} flits/cycle"
+            f" ({s.flits} flits, {s.errors} errors)"
+        )
+    lines.append(f"top {top} output queues by mean occupancy:")
+    for name, q in monitor.hottest_queues(top):
+        lines.append(f"  {name:<32} mean {q.mean:5.2f}  peak {q.peak}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Base class for synchronous components."""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+
+class Component:
+    """A clocked hardware block.
+
+    Subclasses implement :meth:`tick`, called once per cycle.  Within a
+    tick a component reads wire values latched at the end of the
+    previous cycle and drives values that become visible next cycle, so
+    internal state may be updated in place without ordering hazards.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sim: "Simulator | None" = None
+
+    def bind(self, sim: "Simulator") -> None:
+        """Kernel hook: associate the component with its simulator."""
+        self.sim = sim
+
+    def reset(self) -> None:
+        """Return all internal state to its power-on value.
+
+        Subclasses with state must override and call ``super().reset()``.
+        """
+
+    def tick(self, cycle: int) -> None:
+        """Advance one clock cycle.  Must be overridden."""
+        raise NotImplementedError
+
+    def trace(self, cycle: int, event: str, **fields: object) -> None:
+        """Emit a trace event through the owning simulator's tracer."""
+        if self.sim is not None:
+            self.sim.tracer.record(cycle, self.name, event, fields)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

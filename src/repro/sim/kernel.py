@@ -1,0 +1,133 @@
+"""The cycle-driven simulation kernel.
+
+A :class:`Simulator` owns a set of :class:`~repro.sim.component.Component`
+objects and the :class:`~repro.sim.channel.Wire` registers that connect
+them.  Each call to :meth:`Simulator.step` performs one clock cycle:
+
+1. every component's ``tick`` runs (order-independent, because wires are
+   double-buffered), then
+2. every wire latches its driven value.
+
+This mirrors a single-clock synchronous RTL design, which is exactly the
+discipline xpipes Lite imposes on its SystemC library so that synthesis
+and simulation views stay equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.channel import FlitChannel, Wire
+from repro.sim.component import Component
+from repro.sim.trace import NullTracer, Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the kernel (duplicate names...)."""
+
+
+class Simulator:
+    """Single-clock cycle-accurate simulator.
+
+    Parameters
+    ----------
+    tracer:
+        Optional event tracer; defaults to a no-op tracer.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.cycle = 0
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self._components: List[Component] = []
+        self._component_names: Dict[str, Component] = {}
+        self._wires: List[Wire] = []
+        self._wire_names: Dict[str, Wire] = {}
+        self._watchers: List[Callable[[int], None]] = []
+
+    # -- construction ----------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        if component.name in self._component_names:
+            raise SimulationError(f"duplicate component name: {component.name!r}")
+        component.bind(self)
+        self._components.append(component)
+        self._component_names[component.name] = component
+        return component
+
+    def wire(self, name: str, default: Any = None) -> Wire:
+        """Create and register a double-buffered wire."""
+        if name in self._wire_names:
+            raise SimulationError(f"duplicate wire name: {name!r}")
+        w = Wire(name, default)
+        self._wires.append(w)
+        self._wire_names[name] = w
+        return w
+
+    def flit_channel(self, name: str) -> FlitChannel:
+        """Create a flit channel (forward flit wire + reverse ACK wire)."""
+        return FlitChannel(
+            name,
+            forward=self.wire(f"{name}.fwd"),
+            backward=self.wire(f"{name}.bwd"),
+        )
+
+    def component(self, name: str) -> Component:
+        """Look up a registered component by name."""
+        try:
+            return self._component_names[name]
+        except KeyError:
+            raise SimulationError(f"no component named {name!r}") from None
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components)
+
+    def add_watcher(self, fn: Callable[[int], None]) -> None:
+        """Register a callback invoked after every cycle (for probes)."""
+        self._watchers.append(fn)
+
+    # -- execution -------------------------------------------------------
+    def reset(self) -> None:
+        """Reset time, all wires and all components."""
+        self.cycle = 0
+        for w in self._wires:
+            w.reset()
+        for c in self._components:
+            c.reset()
+
+    def step(self) -> None:
+        """Advance exactly one clock cycle."""
+        cyc = self.cycle
+        for c in self._components:
+            c.tick(cyc)
+        for w in self._wires:
+            w.update()
+        for fn in self._watchers:
+            fn(cyc)
+        self.cycle = cyc + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+    ) -> int:
+        """Step until ``predicate()`` is true; returns cycles spent.
+
+        Raises :class:`SimulationError` if the predicate is still false
+        after ``max_cycles`` steps -- the standard guard against
+        deadlocked networks in tests.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"run_until exceeded {max_cycles} cycles "
+                    f"(started at cycle {start})"
+                )
+            self.step()
+        return self.cycle - start

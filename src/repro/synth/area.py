@@ -1,0 +1,160 @@
+"""Area models.
+
+Each model sums the silicon an instance actually contains:
+
+**Switch** -- input stage registers (receive/CRC/allocation, 3 flits
+deep per input), output queues (``buffer_depth`` flits per output),
+go-back-N retransmission buffers (``retx_window`` flits per output),
+the input x output crossbar, allocator/arbiter logic, per-port ACK/NACK
+control and a fixed base.
+
+**NI** -- the ~50-bit header register and one payload register,
+packetization shift registers, the transmit retransmission buffer and
+receive staging buffers, the routing LUT (whose size depends on how
+many destinations this NI must reach), the outstanding-transaction
+table, OCP front-end control and a fixed base.  Target NIs additionally
+carry the request reassembly/burst buffer, which is why they sit above
+initiator NIs in the paper's F1 figure.
+
+**Frequency derating** -- pushing a target frequency into the effort
+range inflates area quadratically up to ``lib.area_derate_max`` at the
+maximum-effort point (paper figure F6's 32-bit 5x5 curve).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import LinkConfig, NiConfig, NocParameters, SwitchConfig
+from repro.core.packet import PacketHeader
+from repro.synth.technology import TechnologyLibrary, UMC130
+from repro.synth.timing import ni_delay_ps, speed_fraction, switch_delay_ps
+
+#: Retransmission window assumed by the estimation models (matches
+#: single-stage links; deeper links grow the buffers via ``retx_window``).
+DEFAULT_RETX_WINDOW = 5
+
+#: Flits of input staging per switch port (receive + CRC + allocation).
+INPUT_STAGE_FLITS = 3
+
+
+def _derate(relaxed_ps: float, lib: TechnologyLibrary, target_freq_mhz: Optional[float]) -> float:
+    """Area multiplier for a synthesis target frequency."""
+    if target_freq_mhz is None:
+        return 1.0
+    s = speed_fraction(relaxed_ps, lib, target_freq_mhz)
+    return 1.0 + lib.area_derate_max * s * s
+
+
+def switch_area_mm2(
+    config: SwitchConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+    target_freq_mhz: Optional[float] = None,
+    retx_window: int = DEFAULT_RETX_WINDOW,
+) -> float:
+    """Area of one switch instance in mm²."""
+    w = params.flit_width
+    ff_bits = (
+        config.n_inputs * INPUT_STAGE_FLITS * w
+        + config.n_outputs * config.buffer_depth * w
+        + config.n_outputs * retx_window * w
+    )
+    if config.pipeline_stages > 2:
+        # Deep-pipeline mode (original xpipes): extra stage registers.
+        ff_bits += config.n_outputs * (config.pipeline_stages - 2) * w
+    um2 = (
+        ff_bits * lib.ff_area_um2_per_bit
+        + config.n_inputs * config.n_outputs * w * lib.mux_area_um2_per_bit_port
+        + config.n_inputs * config.n_outputs * lib.arb_area_um2_per_pair
+        + (config.n_inputs + config.n_outputs) * lib.ctl_area_um2_per_port
+        + lib.base_area_um2
+    )
+    um2 *= _derate(switch_delay_ps(config, params, lib), lib, target_freq_mhz)
+    return um2 / 1e6
+
+
+def credit_switch_area_mm2(
+    config: SwitchConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+    target_freq_mhz: Optional[float] = None,
+) -> float:
+    """Area of the credit-mode input-buffered switch (A10's comparison).
+
+    Credits replace three register banks with one: the per-input
+    staging, per-output queues and per-output retransmission buffers of
+    the ACK/NACK switch collapse into one input FIFO per port plus a
+    single output register -- the area ACK/NACK pays for its error
+    tolerance.  Credit counters themselves are a few bits per port.
+    """
+    w = params.flit_width
+    ff_bits = (
+        config.n_inputs * config.buffer_depth * w  # input FIFOs
+        + config.n_outputs * w  # output registers
+        + config.n_outputs * 8  # credit counters
+    )
+    um2 = (
+        ff_bits * lib.ff_area_um2_per_bit
+        + config.n_inputs * config.n_outputs * w * lib.mux_area_um2_per_bit_port
+        + config.n_inputs * config.n_outputs * lib.arb_area_um2_per_pair
+        + (config.n_inputs + config.n_outputs) * lib.ctl_area_um2_per_port
+        + lib.base_area_um2
+    )
+    um2 *= _derate(switch_delay_ps(config, params, lib), lib, target_freq_mhz)
+    return um2 / 1e6
+
+
+def ni_area_mm2(
+    config: NiConfig,
+    lib: TechnologyLibrary = UMC130,
+    initiator: bool = True,
+    n_destinations: int = 8,
+    target_freq_mhz: Optional[float] = None,
+    retx_window: int = DEFAULT_RETX_WINDOW,
+) -> float:
+    """Area of one NI instance in mm².
+
+    ``n_destinations`` sizes the routing LUT: targets reachable from an
+    initiator NI, or initiators a target NI must answer.
+    """
+    if n_destinations < 1:
+        raise ValueError("an NI reaches at least one destination")
+    params = config.params
+    w = params.flit_width
+    header_bits = PacketHeader.bit_width(params)
+    ff_bits = (
+        header_bits  # header register
+        + params.data_width  # payload register (one burst beat)
+        + 2 * w  # packetization / depacketization shift registers
+        + retx_window * w  # transmit go-back-N buffer
+        + config.buffer_depth * w  # receive staging
+        + config.max_outstanding * 64  # outstanding-transaction table
+    )
+    if initiator:
+        lut_bits = n_destinations * (params.route_bits + params.node_id_bits)
+    else:
+        lut_bits = n_destinations * params.route_bits
+        ff_bits += 8 * params.data_width  # request reassembly / burst buffer
+    um2 = (
+        ff_bits * lib.ff_area_um2_per_bit
+        + lut_bits * lib.lut_area_um2_per_bit
+        + 2 * lib.ctl_area_um2_per_port  # OCP front end + network back end
+        + lib.base_area_um2
+    )
+    um2 *= _derate(ni_delay_ps(config, lib, initiator), lib, target_freq_mhz)
+    return um2 / 1e6
+
+
+def link_area_mm2(
+    config: LinkConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+) -> float:
+    """Pipeline-register area of one unidirectional link (wires excluded).
+
+    Each stage retimes the forward flit plus the backward ACK/NACK
+    token (~4 bits).
+    """
+    bits_per_stage = params.flit_width + 4
+    return config.stages * bits_per_stage * lib.ff_area_um2_per_bit / 1e6

@@ -1,0 +1,68 @@
+"""Power models.
+
+Power tracks the area models: dynamic power is proportional to area,
+clock frequency and switching activity (the fraction of the datapath
+toggling in an average cycle); leakage is proportional to area alone.
+This is the classic P = alpha * C * V^2 * f abstraction with C folded
+into the per-mm² density constant -- adequate for the paper's figure
+shapes (power grows ~linearly with flit width at fixed frequency, and
+the bigger the radix the more it burns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NiConfig, NocParameters, SwitchConfig
+from repro.synth.area import ni_area_mm2, switch_area_mm2
+from repro.synth.technology import TechnologyLibrary, UMC130
+
+#: Default switching activity for NoC components under typical traffic.
+DEFAULT_ACTIVITY = 0.3
+
+
+def _power_mw(area_mm2: float, freq_mhz: float, activity: float, lib: TechnologyLibrary) -> float:
+    if freq_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    if not 0.0 < activity <= 1.0:
+        raise ValueError("activity must be in (0, 1]")
+    dynamic = area_mm2 * (freq_mhz / 1000.0) * lib.dyn_mw_per_mm2_ghz * activity
+    leakage = area_mm2 * lib.leak_mw_per_mm2
+    return dynamic + leakage
+
+
+def switch_power_mw(
+    config: SwitchConfig,
+    params: NocParameters,
+    freq_mhz: float,
+    lib: TechnologyLibrary = UMC130,
+    activity: float = DEFAULT_ACTIVITY,
+    target_freq_mhz: Optional[float] = None,
+) -> float:
+    """Power of one switch at an operating frequency.
+
+    ``target_freq_mhz`` (defaulting to the operating frequency) sets the
+    synthesis effort, whose extra area also burns extra power.
+    """
+    area = switch_area_mm2(
+        config, params, lib=lib,
+        target_freq_mhz=target_freq_mhz if target_freq_mhz is not None else freq_mhz,
+    )
+    return _power_mw(area, freq_mhz, activity, lib)
+
+
+def ni_power_mw(
+    config: NiConfig,
+    freq_mhz: float,
+    lib: TechnologyLibrary = UMC130,
+    initiator: bool = True,
+    n_destinations: int = 8,
+    activity: float = DEFAULT_ACTIVITY,
+    target_freq_mhz: Optional[float] = None,
+) -> float:
+    """Power of one NI at an operating frequency."""
+    area = ni_area_mm2(
+        config, lib=lib, initiator=initiator, n_destinations=n_destinations,
+        target_freq_mhz=target_freq_mhz if target_freq_mhz is not None else freq_mhz,
+    )
+    return _power_mw(area, freq_mhz, activity, lib)

@@ -1,0 +1,130 @@
+"""Timing models: critical paths, max frequencies, effort tradeoffs.
+
+The switch's critical path is its allocation + crossbar-traversal
+stage: stage registers, an arbitration tree whose depth grows with
+log2(inputs), a mux tree growing with log2(outputs), and datapath
+loading growing with log2(flit width).  Synthesis effort can shorten
+the relaxed path by up to ``lib.effort_gain`` at an area cost (see
+:func:`speed_fraction` and :mod:`repro.synth.area`) -- this is the
+"full custom vs macro" tradeoff curve of the paper's F6 figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.core.config import NiConfig, NocParameters, SwitchConfig
+from repro.synth.technology import TechnologyLibrary, UMC130
+
+
+def _log2ceil(n: int) -> float:
+    return math.log2(n) if n > 1 else 1.0
+
+
+def switch_delay_ps(
+    config: SwitchConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+) -> float:
+    """Relaxed-effort critical path of one switch pipeline stage."""
+    return (
+        lib.t_reg_ps
+        + lib.t_arb_ps_per_log2 * _log2ceil(config.n_inputs)
+        + lib.t_xbar_ps_per_log2 * _log2ceil(config.n_outputs)
+        + lib.t_load_ps_per_log2w * _log2ceil(max(params.flit_width // 16, 1))
+    )
+
+
+def switch_max_freq_mhz(
+    config: SwitchConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+) -> float:
+    """Highest clock reachable at maximum synthesis effort."""
+    return 1e6 / (switch_delay_ps(config, params, lib) / lib.effort_gain)
+
+
+def switch_relaxed_freq_mhz(
+    config: SwitchConfig,
+    params: NocParameters,
+    lib: TechnologyLibrary = UMC130,
+) -> float:
+    """Clock at relaxed (minimum-area) effort."""
+    return 1e6 / switch_delay_ps(config, params, lib)
+
+
+def ni_delay_ps(
+    config: NiConfig,
+    lib: TechnologyLibrary = UMC130,
+    initiator: bool = True,
+) -> float:
+    """Relaxed critical path of an NI.
+
+    The NI pipeline is shallower than the switch allocation stage --
+    LUT lookup plus register transfers -- so NIs comfortably reach the
+    mesh operating point (the paper runs NIs at 1 GHz at every flit
+    width).  The target NI's reassembly mux adds slightly more load.
+    """
+    params = config.params
+    base = (
+        lib.t_reg_ps
+        + lib.t_xbar_ps_per_log2 * _log2ceil(max(params.flit_width // 16, 1))
+        + lib.t_arb_ps_per_log2  # LUT/steering stage
+    )
+    if not initiator:
+        base += 0.25 * lib.t_arb_ps_per_log2
+    return base
+
+
+def ni_max_freq_mhz(
+    config: NiConfig,
+    lib: TechnologyLibrary = UMC130,
+    initiator: bool = True,
+) -> float:
+    return 1e6 / (ni_delay_ps(config, lib, initiator) / lib.effort_gain)
+
+
+def speed_fraction(relaxed_ps: float, lib: TechnologyLibrary, freq_mhz: float) -> float:
+    """How far into the effort range a target frequency pushes synthesis.
+
+    0.0 means the relaxed netlist already meets the target; 1.0 means
+    the target needs maximum effort.  Raises ``ValueError`` for targets
+    beyond the maximum-effort frequency (synthesis would fail timing).
+    """
+    if freq_mhz <= 0:
+        raise ValueError("target frequency must be positive")
+    period_ps = 1e6 / freq_mhz
+    min_ps = relaxed_ps / lib.effort_gain
+    if period_ps >= relaxed_ps:
+        return 0.0
+    if period_ps < min_ps * (1 - 1e-9):
+        raise ValueError(
+            f"target {freq_mhz:.0f} MHz is beyond the achievable "
+            f"{1e6 / min_ps:.0f} MHz for this configuration"
+        )
+    return (relaxed_ps - period_ps) / (relaxed_ps - min_ps)
+
+
+def frequency_area_curve(
+    config: SwitchConfig,
+    params: NocParameters,
+    freqs_mhz: Iterable[float],
+    lib: TechnologyLibrary = UMC130,
+) -> List[Tuple[float, float]]:
+    """(frequency, area) samples of the effort tradeoff -- figure F6.
+
+    Frequencies beyond the achievable maximum are skipped, mirroring
+    synthesis runs that fail timing and report nothing.
+    """
+    from repro.synth.area import switch_area_mm2  # local import: avoid cycle
+
+    relaxed = switch_delay_ps(config, params, lib)
+    curve = []
+    for f in freqs_mhz:
+        try:
+            speed_fraction(relaxed, lib, f)
+        except ValueError:
+            continue
+        curve.append((f, switch_area_mm2(config, params, lib=lib, target_freq_mhz=f)))
+    return curve

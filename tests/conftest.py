@@ -1,0 +1,40 @@
+"""Shared test fixtures and micro-harnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NocParameters
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def params32() -> NocParameters:
+    return NocParameters(flit_width=32)
+
+
+@pytest.fixture
+def params16() -> NocParameters:
+    return NocParameters(flit_width=16)
+
+
+def build_small_mesh_noc(
+    rows: int = 2,
+    cols: int = 2,
+    n_cpus: int = 2,
+    n_mems: int = 2,
+    **build_kwargs,
+):
+    """A populated-but-coreless mesh NoC used across integration tests."""
+    from repro.network.noc import Noc, NocBuildConfig
+    from repro.network.topology import attach_round_robin, mesh
+
+    topo = mesh(rows, cols)
+    cpus, mems = attach_round_robin(topo, n_cpus, n_mems)
+    cfg = NocBuildConfig(**build_kwargs) if build_kwargs else None
+    return Noc(topo, cfg), cpus, mems

@@ -1,0 +1,120 @@
+"""Failure-injection sweeps: the protocol under combined stress.
+
+Each test combines several stressors (deep links, bit errors, heavy
+contention, posted writes, exotic topologies) and demands the same
+outcome: every transaction completes and every checked word is exact.
+"""
+
+import pytest
+
+from repro.core.config import LinkConfig, NocParameters
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.scoreboard import (
+    add_checked_masters,
+    assert_all_clean,
+    private_stripe_patterns,
+)
+from repro.network.topology import (
+    attach_round_robin,
+    fat_tree,
+    hypercube,
+    mesh,
+    spidergon,
+)
+
+
+def checked_run(
+    topo_factory,
+    topo_args,
+    cfg,
+    n_cpus=2,
+    n_mems=2,
+    rate=0.08,
+    txns=20,
+    max_cycles=3_000_000,
+    burst_len=1,
+):
+    topo = topo_factory(*topo_args)
+    cpus, mems = attach_round_robin(topo, n_cpus, n_mems)
+    noc = Noc(topo, cfg)
+    patterns = private_stripe_patterns(
+        cpus, mems, rate=rate, burst_len=burst_len, seed=77
+    )
+    masters = add_checked_masters(noc, patterns, max_transactions=txns)
+    for m in mems:
+        noc.add_memory_slave(m)
+    noc.run_until_drained(max_cycles=max_cycles)
+    assert noc.total_completed() == n_cpus * txns
+    assert_all_clean(masters)
+    return noc
+
+
+class TestCombinedStress:
+    def test_deep_links_with_errors(self):
+        cfg = NocBuildConfig(link=LinkConfig(stages=3, error_rate=0.02), seed=8)
+        noc = checked_run(mesh, (2, 2), cfg)
+        assert noc.total_errors_injected() > 0
+
+    def test_bit_errors_with_crc_and_bursts(self):
+        cfg = NocBuildConfig(
+            crc_mode=True,
+            link=LinkConfig(error_rate=0.01, bit_errors=True),
+            seed=9,
+        )
+        checked_run(mesh, (2, 2), cfg, burst_len=4, txns=15)
+
+    def test_errors_with_shallow_queues(self):
+        cfg = NocBuildConfig(
+            buffer_depth=2, link=LinkConfig(error_rate=0.02), seed=10
+        )
+        checked_run(mesh, (2, 2), cfg, rate=0.15)
+
+    def test_posted_writes_under_errors(self):
+        cfg = NocBuildConfig(
+            ni_posted_writes=True, link=LinkConfig(error_rate=0.02), seed=11
+        )
+        noc = checked_run(mesh, (2, 2), cfg, txns=15)
+        assert noc.total_errors_injected() > 0
+
+    def test_thread_order_under_errors(self):
+        cfg = NocBuildConfig(
+            ni_enforce_thread_order=True, link=LinkConfig(error_rate=0.01), seed=12
+        )
+        checked_run(mesh, (2, 2), cfg, txns=15)
+
+    def test_old_7stage_switches_with_errors(self):
+        cfg = NocBuildConfig(
+            pipeline_stages=7, link=LinkConfig(error_rate=0.01), seed=13
+        )
+        checked_run(mesh, (2, 2), cfg, txns=12)
+
+    @pytest.mark.parametrize("factory,args", [
+        (spidergon, (6,)),
+        (hypercube, (3,)),
+        (fat_tree, (3,)),
+    ])
+    def test_exotic_topologies_with_errors(self, factory, args):
+        cfg = NocBuildConfig(link=LinkConfig(error_rate=0.01), seed=14)
+        checked_run(factory, args, cfg, txns=12, rate=0.05)
+
+    def test_narrow_flits_under_everything(self):
+        """16-bit flits: long packets, deep links, errors, contention."""
+        cfg = NocBuildConfig(
+            params=NocParameters(flit_width=16),
+            link=LinkConfig(stages=2, error_rate=0.01),
+            buffer_depth=3,
+            seed=15,
+        )
+        checked_run(mesh, (2, 2), cfg, burst_len=4, rate=0.1, txns=12)
+
+    def test_interrupt_storm_alongside_traffic(self):
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 1, 2)
+        noc = Noc(topo, NocBuildConfig(link=LinkConfig(error_rate=0.01), seed=16))
+        patterns = private_stripe_patterns(cpus, mems, rate=0.1, seed=3)
+        masters = add_checked_masters(noc, patterns, max_transactions=20)
+        noc.add_memory_slave(mems[0], interrupt_schedule=[(i * 40, i) for i in range(8)])
+        noc.add_memory_slave(mems[1])
+        noc.run_until_drained(max_cycles=2_000_000)
+        assert_all_clean(masters)
+        assert len(masters[cpus[0]].interrupts) == 8

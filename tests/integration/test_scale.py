@@ -1,0 +1,76 @@
+"""Scale soak tests: bigger fabrics, more cores, longer runs."""
+
+import pytest
+
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.scoreboard import (
+    add_checked_masters,
+    assert_all_clean,
+    private_stripe_patterns,
+)
+from repro.network.topology import attach_round_robin, mesh, torus
+from repro.network.traffic import UniformRandomTraffic
+
+
+class TestScale:
+    def test_5x5_mesh_20_cores_checked(self):
+        topo = mesh(5, 5)
+        cpus, mems = attach_round_robin(topo, 10, 10)
+        noc = Noc(topo)
+        patterns = private_stripe_patterns(cpus, mems, rate=0.04, seed=9)
+        masters = add_checked_masters(noc, patterns, max_transactions=8)
+        for m in mems:
+            noc.add_memory_slave(m)
+        noc.run_until_drained(max_cycles=2_000_000)
+        assert noc.total_completed() == 80
+        assert_all_clean(masters)
+
+    def test_4x4_torus_12_cores(self):
+        topo = torus(4, 4)
+        cpus, mems = attach_round_robin(topo, 6, 6)
+        noc = Noc(topo)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.03, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=10,
+        )
+        noc.run_until_drained(max_cycles=2_000_000)
+        assert noc.total_completed() == 60
+
+    def test_mesh_case_study_platform_runs(self):
+        """The paper's 3x4 mesh with 19 cores, moving real traffic."""
+        topo = mesh(4, 3)
+        switches = topo.switches
+        cpus, mems = [], []
+        for i in range(8):
+            topo.add_initiator(f"cpu{i}")
+            topo.attach(f"cpu{i}", switches[i])
+            cpus.append(f"cpu{i}")
+        for i in range(11):
+            topo.add_target(f"mem{i}")
+            topo.attach(f"mem{i}", switches[(8 + i) % 12])
+            mems.append(f"mem{i}")
+        noc = Noc(topo)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.05, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=12,
+        )
+        cycles = noc.run_until_drained(max_cycles=2_000_000)
+        assert noc.total_completed() == 8 * 12
+        # Network latency on the case-study platform stays modest.
+        assert noc.network_latency().mean() < 40
+        assert cycles < 50_000
+
+    def test_many_masters_one_hot_target(self):
+        """Worst-case convergecast: 8 masters, 1 memory, heavy load."""
+        topo = mesh(3, 3)
+        cpus, mems = attach_round_robin(topo, 8, 1)
+        noc = Noc(topo)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.3, seed=i) for i, c in enumerate(cpus)},
+            wait_states=0,
+            max_transactions=10,
+        )
+        noc.run_until_drained(max_cycles=5_000_000)
+        assert noc.total_completed() == 80
+        # Convergecast forces real arbitration work.
+        assert sum(sw.allocation_conflicts for sw in noc.switches.values()) > 0

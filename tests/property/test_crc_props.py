@@ -1,0 +1,63 @@
+"""Property-based tests for the CRC codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crc import CRC16_CCITT, CRC8_ATM, CrcCodec
+
+
+class TestCrcProperties:
+    @given(
+        data_bits=st.sampled_from([8, 16, 32, 64]),
+        value=st.integers(min_value=0),
+    )
+    def test_encode_check_roundtrip(self, data_bits, value):
+        codec = CrcCodec(data_bits)
+        value %= 1 << data_bits
+        assert codec.check(codec.encode(value))
+
+    @given(
+        data_bits=st.sampled_from([8, 16, 32]),
+        value=st.integers(min_value=0),
+        bit=st.integers(min_value=0),
+    )
+    def test_all_single_bit_errors_detected(self, data_bits, value, bit):
+        codec = CrcCodec(data_bits, width=8, poly=CRC8_ATM)
+        value %= 1 << data_bits
+        bit %= data_bits + 8
+        assert codec.detects(value, [bit])
+
+    @given(
+        value=st.integers(min_value=0),
+        b1=st.integers(min_value=0),
+        b2=st.integers(min_value=0),
+    )
+    @settings(max_examples=150)
+    def test_all_double_bit_errors_detected_crc16(self, value, b1, b2):
+        """CRC-CCITT detects every double-bit error within these spans."""
+        codec = CrcCodec(32, width=16, poly=CRC16_CCITT)
+        value %= 1 << 32
+        span = 32 + 16
+        b1 %= span
+        b2 %= span
+        if b1 == b2:
+            return  # flips cancel: no error to detect
+        assert codec.detects(value, [b1, b2])
+
+    @given(
+        data_bits=st.sampled_from([16, 32]),
+        value=st.integers(min_value=0),
+    )
+    def test_crc_is_deterministic(self, data_bits, value):
+        codec = CrcCodec(data_bits)
+        value %= 1 << data_bits
+        assert codec.compute(value) == codec.compute(value)
+
+    @given(value=st.integers(min_value=0), flips=st.sets(st.integers(0, 39), max_size=6))
+    @settings(max_examples=150)
+    def test_detects_is_consistent_with_check(self, value, flips):
+        codec = CrcCodec(32, width=8)
+        value %= 1 << 32
+        codeword = codec.encode(value)
+        for b in flips:
+            codeword ^= 1 << b
+        assert codec.detects(value, list(flips)) == (not codec.check(codeword))

@@ -1,0 +1,78 @@
+"""Property-based tests: go-back-N delivers exactly once, in order,
+whatever the link does (corruption) or the receiver does (rejection)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LinkConfig
+from repro.core.flit import Flit, flit_type_for
+from repro.core.flow_control import window_for_link
+from repro.core.link import Link
+from repro.sim.kernel import Simulator
+from tests.harness import FlitSink, FlitSource
+
+
+def stream(n, width=8):
+    return [
+        Flit(ftype=flit_type_for(i, n), payload=i % 256, width=width, index=i)
+        for i in range(n)
+    ]
+
+
+class TestGoBackNProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        stages=st.integers(min_value=1, max_value=4),
+        error_rate=st.floats(min_value=0.0, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exactly_once_in_order_under_corruption(self, n, stages, error_rate, seed):
+        sim = Simulator()
+        cfg = LinkConfig(stages=stages, error_rate=error_rate)
+        up = sim.flit_channel("up")
+        down = sim.flit_channel("down")
+        sim.add(Link("l", up, down, cfg, seed=seed))
+        tx = sim.add(FlitSource("tx", up, stream(n), window=window_for_link(stages)))
+        rx = sim.add(FlitSink("rx", down))
+        budget = 400 + n * 200  # generous for heavy corruption
+        sim.run_until(lambda: len(rx.got) >= n or sim.cycle > budget, budget + 10)
+        assert [f.index for f in rx.got] == list(range(n))
+        assert not any(f.corrupted for f in rx.got)
+
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        reject_mod=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exactly_once_under_random_rejection(self, n, reject_mod, seed):
+        import random
+
+        rng = random.Random(seed)
+        sim = Simulator()
+        up = sim.flit_channel("up")
+        down = sim.flit_channel("down")
+        sim.add(Link("l", up, down, LinkConfig(), seed=0))
+        tx = sim.add(FlitSource("tx", up, stream(n)))
+        rx = sim.add(
+            FlitSink("rx", down, accept=lambda f: rng.randrange(reject_mod) != 0)
+        )
+        sim.run(600 + n * 120)
+        assert [f.index for f in rx.got] == list(range(n))
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        window=st.integers(min_value=3, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_window_size_is_safe(self, n, window):
+        """Undersized windows cost throughput, never correctness."""
+        sim = Simulator()
+        up = sim.flit_channel("up")
+        down = sim.flit_channel("down")
+        sim.add(Link("l", up, down, LinkConfig(stages=2), seed=1))
+        tx = sim.add(FlitSource("tx", up, stream(n), window=window))
+        rx = sim.add(FlitSink("rx", down))
+        sim.run(200 + n * 60)
+        assert [f.index for f in rx.got] == list(range(n))
+        assert tx.sender.idle

@@ -1,0 +1,84 @@
+"""Unit tests for the switch arbiters."""
+
+import pytest
+
+from repro.core.arbiter import (
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    make_arbiter,
+)
+from repro.core.config import ArbitrationPolicy
+
+
+class TestFixedPriority:
+    def test_lowest_index_wins(self):
+        arb = FixedPriorityArbiter(4)
+        assert arb.grant([False, True, True, False]) == 1
+
+    def test_no_request_grants_none(self):
+        assert FixedPriorityArbiter(3).grant([False] * 3) is None
+
+    def test_starvation_is_real(self):
+        """Fixed priority starves high indices while low ones request."""
+        arb = FixedPriorityArbiter(2)
+        grants = [arb.grant([True, True]) for _ in range(10)]
+        assert grants == [0] * 10
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPriorityArbiter(3).grant([True])
+
+
+class TestRoundRobin:
+    def test_rotates_after_grant(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_fair_under_persistent_contention(self):
+        arb = RoundRobinArbiter(4)
+        counts = [0] * 4
+        for _ in range(400):
+            counts[arb.grant([True] * 4)] += 1
+        assert counts == [100] * 4
+
+    def test_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([False, False, True]) == 2
+        # Priority now points past 2, wraps to 0.
+        assert arb.grant([True, False, True]) == 0
+
+    def test_single_requester_always_wins(self):
+        arb = RoundRobinArbiter(3)
+        for _ in range(5):
+            assert arb.grant([False, True, False]) == 1
+
+    def test_no_request_grants_none_and_keeps_state(self):
+        arb = RoundRobinArbiter(2)
+        arb.grant([True, False])
+        assert arb.grant([False, False]) is None
+        assert arb.grant([True, True]) == 1  # state unchanged by the idle cycle
+
+    def test_reset_restores_priority(self):
+        arb = RoundRobinArbiter(3)
+        arb.grant([True, True, True])
+        arb.reset()
+        assert arb.grant([True, True, True]) == 0
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(2).grant([True] * 3)
+
+
+class TestFactory:
+    def test_builds_both_policies(self):
+        assert isinstance(
+            make_arbiter(ArbitrationPolicy.FIXED_PRIORITY, 2), FixedPriorityArbiter
+        )
+        assert isinstance(
+            make_arbiter(ArbitrationPolicy.ROUND_ROBIN, 2), RoundRobinArbiter
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_arbiter(ArbitrationPolicy.ROUND_ROBIN, 0)

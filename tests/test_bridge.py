@@ -1,0 +1,101 @@
+"""Unit tests for the bridged (hierarchical) bus."""
+
+import pytest
+
+from repro.bus import BridgedBus
+from repro.network.traffic import ScriptedTraffic, TxnTemplate, UniformRandomTraffic
+
+
+def scripted_bridged(script, bridge_latency=2):
+    bb = BridgedBus(["cpu0"], ["dram"], ["uart"], bridge_latency=bridge_latency)
+    bb.add_traffic_master("cpu0", ScriptedTraffic(script), max_transactions=len(script))
+    bb.add_memory_slave("dram")
+    bb.add_memory_slave("uart")
+    return bb
+
+
+class TestBridgedBus:
+    def test_fast_slave_reached_directly(self):
+        bb = scripted_bridged([(0, TxnTemplate("dram", is_read=False, burst_len=1))])
+        bb.run_until_drained()
+        assert bb.total_completed() == 1
+        assert bb.fast.slaves["dram"].writes_served == 1
+        assert bb.bridge.crossings == 0
+
+    def test_slow_slave_reached_through_bridge(self):
+        bb = scripted_bridged([(0, TxnTemplate("uart", is_read=False, burst_len=1))])
+        bb.run_until_drained()
+        assert bb.total_completed() == 1
+        assert bb.slow.slaves["uart"].writes_served == 1
+        assert bb.bridge.crossings == 1
+
+    def test_bridge_adds_latency(self):
+        def latency(target, bridge_latency=4):
+            bb = scripted_bridged(
+                [(0, TxnTemplate(target, is_read=True))], bridge_latency
+            )
+            bb.run_until_drained()
+            return bb.aggregate_latency().samples[0]
+
+        assert latency("uart") > latency("dram") + 4
+
+    def test_bridge_latency_parameter(self):
+        def uart_latency(bl):
+            bb = scripted_bridged([(0, TxnTemplate("uart", is_read=True))], bl)
+            bb.run_until_drained()
+            return bb.aggregate_latency().samples[0]
+
+        assert uart_latency(8) == uart_latency(0) + 16  # both directions
+
+    def test_data_integrity_across_the_bridge(self):
+        script = [
+            (0, TxnTemplate("uart", offset=2, is_read=False, burst_len=2)),
+            (100, TxnTemplate("uart", offset=2, is_read=True, burst_len=2)),
+        ]
+        bb = scripted_bridged(script)
+        bb.run_until_drained()
+        master = bb.fast.masters["cpu0"]
+        uart = bb.slow.slaves["uart"]
+        data = list(master.read_data.values())[0]
+        assert data == (uart.memory[2], uart.memory[3])
+
+    def test_mixed_traffic_drains(self):
+        bb = BridgedBus(["cpu0", "cpu1"], ["dram"], ["uart", "timer"])
+        bb.populate(
+            {
+                "cpu0": UniformRandomTraffic(["dram", "uart"], 0.1, seed=1),
+                "cpu1": UniformRandomTraffic(["dram", "timer"], 0.1, seed=2),
+            },
+            max_transactions=25,
+        )
+        bb.run_until_drained(max_cycles=1_000_000)
+        assert bb.total_completed() == 50
+
+    def test_bridge_serializes_slow_access(self):
+        """While the bridge is busy, even fast-bus slaves must wait:
+        the AMBA pathology the paper's motivation points at."""
+        bb = BridgedBus(["cpu0"], ["dram"], ["uart"], bridge_latency=10)
+        script = [
+            (0, TxnTemplate("uart", is_read=True)),
+            (1, TxnTemplate("dram", is_read=True)),
+        ]
+        bb.add_traffic_master("cpu0", ScriptedTraffic(script), max_transactions=2)
+        bb.add_memory_slave("dram")
+        bb.add_memory_slave("uart")
+        bb.run_until_drained()
+        lat = sorted(bb.aggregate_latency().samples)
+        # The dram access queued behind the uart crossing.
+        assert lat[1] > 20
+
+    def test_needs_slow_slaves(self):
+        with pytest.raises(ValueError):
+            BridgedBus(["cpu0"], ["dram"], [])
+
+    def test_unknown_slave_rejected(self):
+        bb = BridgedBus(["cpu0"], ["dram"], ["uart"])
+        with pytest.raises(Exception, match="not a slave"):
+            bb.add_memory_slave("ghost")
+
+    def test_negative_bridge_latency_rejected(self):
+        with pytest.raises(ValueError):
+            BridgedBus(["cpu0"], ["dram"], ["uart"], bridge_latency=-1)

@@ -1,0 +1,56 @@
+"""Unit tests for the bounded FIFO."""
+
+import pytest
+
+from repro.core.buffers import BoundedFifo, BufferOverflowError
+
+
+class TestBoundedFifo:
+    def test_fifo_order(self):
+        q = BoundedFifo(3)
+        for x in (1, 2, 3):
+            q.push(x)
+        assert [q.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_overflow_raises(self):
+        q = BoundedFifo(1)
+        q.push("a")
+        with pytest.raises(BufferOverflowError):
+            q.push("b")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedFifo(2).pop()
+
+    def test_flags(self):
+        q = BoundedFifo(2)
+        assert q.is_empty and not q.is_full and q.free == 2
+        q.push(1)
+        assert not q.is_empty and not q.is_full and q.free == 1
+        q.push(2)
+        assert q.is_full and q.free == 0
+
+    def test_peek_does_not_consume(self):
+        q = BoundedFifo(2)
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_is_none(self):
+        assert BoundedFifo(2).peek() is None
+
+    def test_clear(self):
+        q = BoundedFifo(2)
+        q.push(1)
+        q.clear()
+        assert q.is_empty
+
+    def test_iteration_is_fifo_order(self):
+        q = BoundedFifo(3)
+        for x in "abc":
+            q.push(x)
+        assert list(q) == ["a", "b", "c"]
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(0)

@@ -1,0 +1,52 @@
+"""Unit tests for the xpipesCompiler command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.compiler.__main__ import main
+
+
+@pytest.fixture
+def spec_file(tmp_path, capsys):
+    assert main(["--demo"]) == 0
+    text = capsys.readouterr().out
+    path = tmp_path / "spec.json"
+    path.write_text(text)
+    return str(path)
+
+
+class TestCli:
+    def test_demo_emits_valid_json(self, capsys):
+        assert main(["--demo"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "demo2x2"
+        assert len(doc["switches"]) == 4
+
+    def test_tables(self, spec_file, capsys):
+        assert main([spec_file, "--tables"]) == 0
+        out = capsys.readouterr().out
+        assert "xpipes routing tables" in out
+        assert "route=<" in out
+
+    def test_report(self, spec_file, capsys):
+        assert main([spec_file, "--report", "--freq", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "Synthesis report: demo2x2 @ 800 MHz" in out
+        assert "TOTAL" in out
+
+    def test_output_generation(self, spec_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "gen")
+        assert main([spec_file, "-o", out_dir]) == 0
+        files = os.listdir(out_dir)
+        assert "xpipes_params.h" in files
+        assert any(f.endswith("_top.cpp") for f in files)
+
+    def test_no_action_errors(self, spec_file):
+        with pytest.raises(SystemExit):
+            main([spec_file])
+
+    def test_missing_spec_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--tables"])

@@ -1,0 +1,113 @@
+"""Unit tests for the component parameter dataclasses."""
+
+import pytest
+
+from repro.core.config import (
+    ArbitrationPolicy,
+    LinkConfig,
+    NiConfig,
+    NocParameters,
+    SwitchConfig,
+)
+
+
+class TestNocParameters:
+    def test_defaults_give_about_50_bit_headers(self):
+        from repro.core.packet import PacketHeader
+
+        p = NocParameters()
+        assert 45 <= PacketHeader.bit_width(p) <= 60  # "about 50 bits"
+
+    def test_route_bits(self):
+        p = NocParameters(max_hops=8, port_bits=3)
+        assert p.route_bits == 24
+
+    def test_max_radix(self):
+        assert NocParameters(port_bits=3).max_radix == 8
+
+    def test_max_burst(self):
+        assert NocParameters(burst_bits=8).max_burst == 255
+
+    def test_max_nodes(self):
+        assert NocParameters(node_id_bits=6).max_nodes == 64
+
+    @pytest.mark.parametrize("field,value", [
+        ("flit_width", 2),
+        ("data_width", 4),
+        ("max_hops", 0),
+        ("port_bits", 0),
+        ("node_id_bits", 0),
+        ("burst_bits", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            NocParameters(**{field: value})
+
+    def test_frozen(self):
+        p = NocParameters()
+        with pytest.raises(AttributeError):
+            p.flit_width = 64
+
+
+class TestSwitchConfig:
+    def test_label(self):
+        assert SwitchConfig(4, 5).label() == "4x5"
+
+    def test_radix_is_max_dimension(self):
+        assert SwitchConfig(6, 4).radix == 6
+
+    def test_rejects_no_ports(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(0, 4)
+        with pytest.raises(ValueError):
+            SwitchConfig(4, 0)
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(4, 4, buffer_depth=1)
+
+    def test_rejects_zero_pipeline(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(4, 4, pipeline_stages=0)
+
+    def test_paper_default_is_two_stages(self):
+        assert SwitchConfig(4, 4).pipeline_stages == 2
+
+
+class TestLinkConfig:
+    def test_defaults(self):
+        cfg = LinkConfig()
+        assert cfg.stages == 1
+        assert cfg.error_rate == 0.0
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            LinkConfig(stages=0)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_error_rate(self, rate):
+        with pytest.raises(ValueError):
+            LinkConfig(error_rate=rate)
+
+    def test_accepts_valid_error_rate(self):
+        assert LinkConfig(error_rate=0.25).error_rate == 0.25
+
+
+class TestNiConfig:
+    def test_defaults_carry_params(self):
+        cfg = NiConfig()
+        assert cfg.params.flit_width == 32
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(ValueError):
+            NiConfig(buffer_depth=1)
+
+    def test_rejects_zero_outstanding(self):
+        with pytest.raises(ValueError):
+            NiConfig(max_outstanding=0)
+
+
+class TestArbitrationPolicy:
+    def test_both_paper_policies_exist(self):
+        assert ArbitrationPolicy.FIXED_PRIORITY.value == "fixed"
+        assert ArbitrationPolicy.ROUND_ROBIN.value == "round_robin"

@@ -1,0 +1,202 @@
+"""Unit tests for the behavioural OCP cores (master / memory slave)."""
+
+import pytest
+
+from repro.core.ocp import (
+    BurstTransaction,
+    OcpCmd,
+    OcpMasterPort,
+    OcpResponse,
+    OcpSlavePort,
+    SResp,
+)
+from repro.core.routing import AddressMap
+from repro.network.cores import OcpMemorySlave, OcpTrafficMaster
+from repro.network.traffic import ScriptedTraffic, TxnTemplate
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class EchoNi(Component):
+    """A fake NI: accepts every request, answers after a fixed delay."""
+
+    def __init__(self, name, port, delay=3):
+        super().__init__(name)
+        self.port = port
+        self.delay = delay
+        self._seen = set()
+        self._pending = []  # (ready_cycle, response)
+
+    def tick(self, cycle):
+        txn = self.port.peek_request()
+        if txn is not None and txn.txn_id not in self._seen:
+            self._seen.add(txn.txn_id)
+            self.port.accept_request(txn.txn_id)
+            data = (0xEC40,) * txn.burst_len if txn.is_read else ()
+            self._pending.append(
+                (cycle + self.delay, OcpResponse(txn.txn_id, SResp.DVA, data))
+            )
+        if self._pending:
+            ready, resp = self._pending[0]
+            if cycle >= ready:
+                if self.port.accepted_response_id() == resp.txn_id:
+                    self._pending.pop(0)
+                elif not any(
+                    r.txn_id == self.port.accepted_response_id()
+                    for _, r in self._pending
+                ):
+                    self.port.drive_response(resp)
+
+
+def master_rig(script, max_outstanding=2, delay=3):
+    sim = Simulator()
+    port = OcpMasterPort(sim, "p")
+    amap = AddressMap(["mem"])
+    master = sim.add(
+        OcpTrafficMaster(
+            "cpu",
+            port,
+            ScriptedTraffic(script),
+            amap,
+            max_outstanding=max_outstanding,
+            max_transactions=len(script),
+        )
+    )
+    sim.add(EchoNi("ni", port, delay=delay))
+    return sim, master
+
+
+class TestTrafficMaster:
+    def test_issues_and_completes(self):
+        sim, master = master_rig([(0, TxnTemplate("mem", is_read=True))])
+        sim.run(40)
+        assert master.issued == 1
+        assert master.completed == 1
+        assert master.done
+
+    def test_latency_samples_match_completions(self):
+        script = [(0, TxnTemplate("mem")), (4, TxnTemplate("mem"))]
+        sim, master = master_rig(script)
+        sim.run(80)
+        assert master.latency.count == 2
+        assert all(s > 0 for s in master.latency.samples)
+
+    def test_outstanding_limit_respected(self):
+        script = [(0, TxnTemplate("mem", is_read=True)) for _ in range(6)]
+        sim, master = master_rig(script, max_outstanding=1, delay=10)
+        sim.run(30)
+        # With 1 outstanding and 10-cycle service, at most 3 issued by now.
+        assert master.issued <= 3
+
+    def test_write_data_is_generated(self):
+        script = [(0, TxnTemplate("mem", is_read=False, burst_len=3))]
+        sim, master = master_rig(script)
+        sim.run(40)
+        assert master.completed == 1
+
+    def test_read_data_recorded(self):
+        sim, master = master_rig([(0, TxnTemplate("mem", is_read=True, burst_len=2))])
+        sim.run(40)
+        assert list(master.read_data.values()) == [(0xEC40, 0xEC40)]
+
+    def test_addresses_use_the_map(self):
+        sim, master = master_rig([(0, TxnTemplate("mem", offset=0x2A))])
+        txn = master._build_txn(TxnTemplate("mem", offset=0x2A), 0)
+        assert txn.addr == master.address_map.base_of("mem") + 0x2A
+
+    def test_quiescent_and_done_flags(self):
+        sim, master = master_rig([(0, TxnTemplate("mem"))])
+        assert master.quiescent and not master.done
+        sim.run(40)
+        assert master.done
+
+
+def slave_rig(wait_states=2, interrupt_schedule=None):
+    sim = Simulator()
+    port = OcpSlavePort(sim, "s")
+    slave = sim.add(
+        OcpMemorySlave("mem", port, wait_states=wait_states,
+                       interrupt_schedule=interrupt_schedule)
+    )
+    return sim, port, slave
+
+
+def push_txn(sim, port, txn, max_cycles=50):
+    """Drive a request at the slave until accepted; return accept cycle."""
+    for c in range(max_cycles):
+        if port.accepted_request_id() == txn.txn_id:
+            return c
+        port.drive_request(txn)
+        sim.step()
+    raise AssertionError("slave never accepted the request")
+
+
+def collect_response(sim, port, txn_id, max_cycles=60):
+    for _ in range(max_cycles):
+        resp = port.peek_response()
+        if resp is not None and resp.txn_id == txn_id:
+            port.accept_response(txn_id)
+            sim.step()
+            return resp
+        sim.step()
+    raise AssertionError("no response arrived")
+
+
+class TestMemorySlave:
+    def test_write_then_read(self):
+        sim, port, slave = slave_rig()
+        w = BurstTransaction(cmd=OcpCmd.WRITE, addr=0x10, burst_len=2, data=(7, 8))
+        push_txn(sim, port, w)
+        collect_response(sim, port, w.txn_id)
+        assert slave.memory[0x10] == 7 and slave.memory[0x11] == 8
+
+        r = BurstTransaction(cmd=OcpCmd.READ, addr=0x10, burst_len=2)
+        push_txn(sim, port, r)
+        resp = collect_response(sim, port, r.txn_id)
+        assert resp.data == (7, 8)
+
+    def test_unwritten_reads_as_zero(self):
+        sim, port, slave = slave_rig()
+        r = BurstTransaction(cmd=OcpCmd.READ, addr=0x99)
+        push_txn(sim, port, r)
+        assert collect_response(sim, port, r.txn_id).data == (0,)
+
+    def test_wait_states_delay_response(self):
+        def service_time(ws):
+            sim, port, slave = slave_rig(wait_states=ws)
+            t = BurstTransaction(cmd=OcpCmd.READ, addr=0)
+            push_txn(sim, port, t)
+            start = sim.cycle
+            collect_response(sim, port, t.txn_id)
+            return sim.cycle - start
+
+        assert service_time(8) - service_time(0) == 8
+
+    def test_counters(self):
+        sim, port, slave = slave_rig()
+        w = BurstTransaction(cmd=OcpCmd.WRITE, addr=0, burst_len=1, data=(1,))
+        push_txn(sim, port, w)
+        collect_response(sim, port, w.txn_id)
+        assert slave.writes_served == 1 and slave.reads_served == 0
+
+    def test_interrupt_schedule_fires_once(self):
+        sim, port, slave = slave_rig(interrupt_schedule=[(5, 0xA)])
+        seen = []
+        for _ in range(20):
+            sim.step()
+            ev = port.peek_sideband()
+            if ev is not None:
+                seen.append(ev)
+        assert len(seen) == 1 and seen[0].vector == 0xA
+
+    def test_negative_wait_states_rejected(self):
+        sim = Simulator()
+        port = OcpSlavePort(sim, "s")
+        with pytest.raises(ValueError):
+            OcpMemorySlave("m", port, wait_states=-1)
+
+    def test_thread_id_echoed(self):
+        sim, port, slave = slave_rig()
+        t = BurstTransaction(cmd=OcpCmd.READ, addr=0, thread_id=2)
+        push_txn(sim, port, t)
+        assert collect_response(sim, port, t.txn_id).thread_id == 2

@@ -1,0 +1,70 @@
+"""Unit tests for the CRC codec."""
+
+import pytest
+
+from repro.core.crc import CRC8_ATM, CRC16_CCITT, CrcCodec, codec_for_flit_width
+
+
+class TestCrcCodec:
+    def test_known_crc8_vector(self):
+        # CRC-8-ATM of 0x00 byte is 0x00; of 0xC2 it is a fixed value
+        # we can pin by construction.
+        codec = CrcCodec(8, width=8, poly=CRC8_ATM)
+        assert codec.compute(0x00) == 0x00
+
+    def test_encode_check_roundtrip(self):
+        codec = CrcCodec(32)
+        for value in (0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x12345678):
+            assert codec.check(codec.encode(value))
+
+    def test_single_bit_errors_always_detected(self):
+        codec = CrcCodec(32)
+        value = 0xCAFEBABE
+        for bit in range(32 + 8):
+            assert codec.detects(value, [bit]), f"missed single-bit flip at {bit}"
+
+    def test_double_bit_errors_detected_crc8(self):
+        codec = CrcCodec(16, width=8, poly=CRC8_ATM)
+        value = 0xA55A
+        for b1 in range(0, 24, 3):
+            for b2 in range(b1 + 1, 24, 5):
+                assert codec.detects(value, [b1, b2])
+
+    def test_no_error_means_no_detection(self):
+        codec = CrcCodec(16)
+        assert not codec.detects(0x1234, [])
+
+    def test_corrupted_codeword_fails_check(self):
+        codec = CrcCodec(16)
+        cw = codec.encode(0xBEEF)
+        assert not codec.check(cw ^ 0b100)
+
+    def test_value_must_fit(self):
+        with pytest.raises(ValueError):
+            CrcCodec(8).compute(256)
+
+    def test_bit_position_validated(self):
+        codec = CrcCodec(8)
+        with pytest.raises(ValueError):
+            codec.detects(0, [99])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CrcCodec(0)
+        with pytest.raises(ValueError):
+            CrcCodec(8, width=0)
+        with pytest.raises(ValueError):
+            CrcCodec(8, width=8, poly=0)
+        with pytest.raises(ValueError):
+            CrcCodec(8, width=8, poly=1 << 8)
+
+
+class TestCodecSelection:
+    def test_narrow_flits_get_crc8(self):
+        codec = codec_for_flit_width(32)
+        assert codec.width == 8 and codec.poly == CRC8_ATM
+
+    def test_wide_flits_get_crc16(self):
+        codec = codec_for_flit_width(64)
+        assert codec.width == 16 and codec.poly == CRC16_CCITT
+        assert codec_for_flit_width(128).width == 16

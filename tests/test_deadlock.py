@@ -1,0 +1,82 @@
+"""Unit tests for wormhole deadlock analysis (channel dependency graphs)."""
+
+import pytest
+
+from repro.network.deadlock import (
+    channel_dependency_graph,
+    check_deadlock_freedom,
+)
+from repro.network.topology import attach_round_robin, mesh, ring, star, torus
+
+
+class TestChannelDependencyGraph:
+    def test_mesh_dor_is_acyclic(self):
+        topo = mesh(3, 3)
+        attach_round_robin(topo, 4, 4)
+        report = check_deadlock_freedom(topo, "dor")
+        assert report.is_deadlock_free
+        assert report.cycles == []
+        assert report.n_channels > 0
+
+    def test_larger_mesh_dor_still_acyclic(self):
+        topo = mesh(4, 4)
+        attach_round_robin(topo, 6, 6)
+        assert check_deadlock_freedom(topo, "dor").is_deadlock_free
+
+    def test_ring_with_all_pairs_has_cycle(self):
+        """The textbook wormhole deadlock: cyclic channel dependencies
+        around a ring without virtual channels."""
+        topo = ring(6)
+        attach_round_robin(topo, 3, 3)
+        report = check_deadlock_freedom(topo)
+        assert not report.is_deadlock_free
+        assert len(report.cycles) >= 1
+        # The reported cycle is a genuine cycle: consecutive channels
+        # chain head to tail.
+        cycle = report.cycles[0]
+        for (a1, b1), (a2, b2) in zip(cycle, cycle[1:]):
+            assert b1 == a2
+
+    def test_star_is_trivially_deadlock_free(self):
+        topo = star(4)
+        attach_round_robin(topo, 3, 3)
+        assert check_deadlock_freedom(topo).is_deadlock_free
+
+    def test_cdg_nodes_are_fabric_channels_only(self):
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 2, 2)
+        cdg = channel_dependency_graph(topo)
+        switches = set(topo.switches)
+        for a, b in cdg.nodes:
+            assert a in switches and b in switches
+
+    def test_describe_both_ways(self):
+        good = mesh(2, 2)
+        attach_round_robin(good, 2, 2)
+        text = check_deadlock_freedom(good).describe()
+        assert "deadlock-free" in text
+
+        bad = ring(6)
+        attach_round_robin(bad, 3, 3)
+        text = check_deadlock_freedom(bad).describe()
+        assert "NOT deadlock-free" in text
+        assert "->" in text
+
+    def test_policy_changes_the_answer(self):
+        """On a mesh, both DOR and shortest-path route sets are acyclic;
+        the dependency counts still differ because the paths differ."""
+        topo = mesh(3, 3)
+        attach_round_robin(topo, 4, 4)
+        dor = check_deadlock_freedom(topo, "dor")
+        short = check_deadlock_freedom(topo, "shortest")
+        assert dor.is_deadlock_free and short.is_deadlock_free
+
+    def test_torus_under_few_pairs_may_be_acyclic(self):
+        """Deadlock freedom is a property of the *route set*, not the
+        topology alone: a lightly loaded torus can be fine."""
+        topo = torus(3, 3)
+        topo.add_initiator("cpu")
+        topo.add_target("mem")
+        topo.attach("cpu", "sw_0_0")
+        topo.attach("mem", "sw_1_1")
+        assert check_deadlock_freedom(topo).is_deadlock_free

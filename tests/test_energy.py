@@ -1,0 +1,106 @@
+"""Unit tests for the energy models."""
+
+import math
+
+import pytest
+
+from repro.core.config import LinkConfig, NiConfig, NocParameters, SwitchConfig
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import UniformRandomTraffic
+from repro.synth.energy import (
+    EnergyReport,
+    link_energy_per_flit_pj,
+    measure_noc_energy,
+    ni_energy_per_packet_pj,
+    switch_energy_per_flit_pj,
+)
+
+
+def params(w=32):
+    return NocParameters(flit_width=w)
+
+
+class TestPerEventEnergies:
+    def test_wider_flits_cost_more_per_hop(self):
+        narrow = switch_energy_per_flit_pj(SwitchConfig(4, 4), params(16))
+        wide = switch_energy_per_flit_pj(SwitchConfig(4, 4), params(128))
+        assert wide > 3 * narrow
+
+    def test_bigger_radix_costs_more_total_but_amortizes(self):
+        e44 = switch_energy_per_flit_pj(SwitchConfig(4, 4), params())
+        e88 = switch_energy_per_flit_pj(SwitchConfig(8, 8), params())
+        # Per flit the bigger switch pays for its bigger crossbar...
+        assert e88 > e44 * 0.8
+        # ...but less than the full area ratio (radix amortization).
+        from repro.synth import switch_area_mm2
+
+        ratio = switch_area_mm2(SwitchConfig(8, 8), params()) / switch_area_mm2(
+            SwitchConfig(4, 4), params()
+        )
+        assert e88 / e44 < ratio
+
+    def test_link_energy_scales_with_stages(self):
+        e1 = link_energy_per_flit_pj(LinkConfig(stages=1), params())
+        e3 = link_energy_per_flit_pj(LinkConfig(stages=3), params())
+        assert e3 == pytest.approx(3 * e1)
+
+    def test_ni_packet_energy_positive(self):
+        e = ni_energy_per_packet_pj(NiConfig(params=params()))
+        assert e > 0
+        assert ni_energy_per_packet_pj(
+            NiConfig(params=params()), initiator=False
+        ) > e  # target NI is bigger
+
+
+class TestMeasuredEnergy:
+    def run_noc(self, txns=30, rate=0.1):
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        noc = Noc(topo)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, rate, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=txns,
+        )
+        noc.run_until_drained(max_cycles=500_000)
+        return noc
+
+    def test_report_structure(self):
+        noc = self.run_noc()
+        report = measure_noc_energy(noc)
+        assert set(report.dynamic_pj) == {"switch", "link", "ni"}
+        assert report.total_dynamic_pj > 0
+        assert report.leakage_pj > 0
+        assert report.total_pj == pytest.approx(
+            report.total_dynamic_pj + report.leakage_pj
+        )
+        assert report.completed_transactions == 60
+
+    def test_more_traffic_more_dynamic_energy(self):
+        small = measure_noc_energy(self.run_noc(txns=10))
+        big = measure_noc_energy(self.run_noc(txns=60))
+        assert big.total_dynamic_pj > 2 * small.total_dynamic_pj
+
+    def test_leakage_scales_with_time_not_traffic(self):
+        noc = self.run_noc(txns=10)
+        before = measure_noc_energy(noc)
+        noc.run(5000)  # idle cycles: leakage only
+        after = measure_noc_energy(noc)
+        assert after.leakage_pj > 3 * before.leakage_pj
+        assert after.total_dynamic_pj == pytest.approx(before.total_dynamic_pj)
+
+    def test_per_transaction_figure(self):
+        report = measure_noc_energy(self.run_noc())
+        assert 0 < report.pj_per_transaction < 1e6
+
+    def test_empty_run_has_nan_per_transaction(self):
+        report = EnergyReport(
+            dynamic_pj={"switch": 0.0}, leakage_pj=0.0, cycles=0,
+            completed_transactions=0,
+        )
+        assert math.isnan(report.pj_per_transaction)
+
+    def test_describe_renders(self):
+        report = measure_noc_energy(self.run_noc())
+        text = report.describe()
+        assert "dynamic" in text and "leakage" in text and "pJ/txn" in text

@@ -1,0 +1,80 @@
+"""Unit tests for flits."""
+
+import pytest
+
+from repro.core.flit import Flit, FlitType, flit_type_for, next_packet_id
+
+
+def make_flit(**kw):
+    defaults = dict(ftype=FlitType.HEAD_TAIL, payload=0xAB, width=8)
+    defaults.update(kw)
+    return Flit(**defaults)
+
+
+class TestFlitType:
+    def test_head_flags(self):
+        assert FlitType.HEAD.is_head and not FlitType.HEAD.is_tail
+        assert FlitType.TAIL.is_tail and not FlitType.TAIL.is_head
+        assert FlitType.HEAD_TAIL.is_head and FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.BODY.is_head and not FlitType.BODY.is_tail
+
+    def test_flit_type_for_single(self):
+        assert flit_type_for(0, 1) is FlitType.HEAD_TAIL
+
+    def test_flit_type_for_multi(self):
+        assert flit_type_for(0, 3) is FlitType.HEAD
+        assert flit_type_for(1, 3) is FlitType.BODY
+        assert flit_type_for(2, 3) is FlitType.TAIL
+
+    def test_flit_type_for_rejects_empty(self):
+        with pytest.raises(ValueError):
+            flit_type_for(0, 0)
+
+
+class TestFlit:
+    def test_payload_must_fit_width(self):
+        with pytest.raises(ValueError):
+            make_flit(payload=256, width=8)
+
+    def test_payload_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            make_flit(payload=-1)
+
+    def test_with_seqno_is_pure(self):
+        f = make_flit()
+        g = f.with_seqno(5)
+        assert g.seqno == 5 and f.seqno == -1
+
+    def test_corrupt_sets_flag(self):
+        f = make_flit()
+        assert not f.corrupted
+        assert f.corrupt().corrupted
+
+    def test_next_hop_reads_route(self):
+        f = make_flit(ftype=FlitType.HEAD, route=(2, 0, 1))
+        assert f.next_hop == 2
+        assert f.advance_route().next_hop == 0
+
+    def test_next_hop_without_route_raises(self):
+        with pytest.raises(ValueError, match="no route"):
+            make_flit().next_hop
+
+    def test_exhausted_route_raises(self):
+        f = make_flit(ftype=FlitType.HEAD, route=(1,), route_offset=1)
+        with pytest.raises(ValueError, match="exhausted"):
+            f.next_hop
+
+    def test_stamped_sets_birth_cycle(self):
+        assert make_flit().stamped(99).birth_cycle == 99
+
+    def test_birth_cycle_excluded_from_equality(self):
+        a = make_flit().stamped(1)
+        b = make_flit().stamped(2)
+        assert a == b
+
+    def test_packet_ids_are_unique(self):
+        assert next_packet_id() != next_packet_id()
+
+    def test_repr_mentions_type_and_corruption(self):
+        f = make_flit(ftype=FlitType.HEAD, route=(0,)).corrupt()
+        assert "H!" in repr(f)

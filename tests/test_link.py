@@ -1,0 +1,120 @@
+"""Unit tests for pipelined, unreliable links."""
+
+import pytest
+
+from repro.core.config import LinkConfig
+from repro.core.flit import Flit, FlitType
+from repro.core.link import Link
+from repro.sim.channel import AckSignal
+from repro.sim.kernel import Simulator
+
+
+def flit(payload=1):
+    return Flit(ftype=FlitType.HEAD_TAIL, payload=payload, width=8)
+
+
+def make_link(stages=1, error_rate=0.0, seed=0):
+    sim = Simulator()
+    up = sim.flit_channel("up")
+    down = sim.flit_channel("down")
+    link = sim.add(Link("l", up, down, LinkConfig(stages=stages, error_rate=error_rate), seed))
+    return sim, up, down, link
+
+
+class TestForwardPath:
+    @pytest.mark.parametrize("stages", [1, 2, 5])
+    def test_latency_is_stages_plus_one(self, stages):
+        sim, up, down, _ = make_link(stages=stages)
+        up.send(flit(7))
+        for cyc in range(stages + 1):
+            sim.step()
+            if cyc < stages:
+                assert down.peek_flit() is None
+        assert down.peek_flit().payload == 7
+
+    def test_back_to_back_stream(self):
+        sim, up, down, _ = make_link(stages=2)
+        received = []
+        for i in range(10):
+            up.send(flit(i))
+            sim.step()
+            f = down.peek_flit()
+            if f is not None:
+                received.append(f.payload)
+        for _ in range(3):
+            sim.step()
+            f = down.peek_flit()
+            if f is not None:
+                received.append(f.payload)
+        assert received == list(range(10))
+
+    def test_bubbles_preserved(self):
+        sim, up, down, _ = make_link(stages=1)
+        up.send(flit(1))
+        sim.step()
+        sim.step()  # nothing sent this cycle
+        assert down.peek_flit().payload == 1
+        sim.step()
+        assert down.peek_flit() is None
+
+
+class TestBackwardPath:
+    @pytest.mark.parametrize("stages", [1, 3])
+    def test_ack_latency_matches_forward(self, stages):
+        sim, up, down, _ = make_link(stages=stages)
+        down.send_ack(AckSignal.ack(0))
+        for cyc in range(stages + 1):
+            sim.step()
+            if cyc < stages:
+                assert up.peek_ack() is None
+        assert up.peek_ack() == AckSignal.ack(0)
+
+
+class TestErrorInjection:
+    def test_zero_rate_never_corrupts(self):
+        sim, up, down, link = make_link(error_rate=0.0)
+        for i in range(50):
+            up.send(flit(i % 256))
+            sim.step()
+        sim.step()
+        assert link.errors_injected == 0
+
+    def test_rate_one_half_corrupts_roughly_half(self):
+        sim, up, down, link = make_link(error_rate=0.5, seed=9)
+        for i in range(400):
+            up.send(flit(i % 256))
+            sim.step()
+        sim.step()  # flush: the last flit is seen one cycle after its send
+        assert 120 < link.errors_injected < 280
+        assert link.flits_carried == 400
+
+    def test_deterministic_for_seed(self):
+        counts = []
+        for _ in range(2):
+            sim, up, down, link = make_link(error_rate=0.3, seed=42)
+            for i in range(100):
+                up.send(flit(i % 256))
+                sim.step()
+            counts.append(link.errors_injected)
+        assert counts[0] == counts[1]
+
+    def test_reset_restores_rng_and_pipes(self):
+        sim, up, down, link = make_link(stages=3, error_rate=0.3, seed=7)
+        for i in range(50):
+            up.send(flit(i % 256))
+            sim.step()
+        first = link.errors_injected
+        sim.reset()
+        assert link.errors_injected == 0
+        for i in range(50):
+            up.send(flit(i % 256))
+            sim.step()
+        assert link.errors_injected == first
+
+    def test_corruption_flags_flit_not_drops_it(self):
+        sim, up, down, link = make_link(error_rate=1.0 - 1e-9, seed=1)
+        up.send(flit(3))
+        sim.step()
+        sim.step()
+        f = down.peek_flit()
+        assert f is not None and f.corrupted and f.payload == 3

@@ -1,0 +1,142 @@
+"""Per-link configuration overrides and the floorplan -> sim loop."""
+
+import pytest
+
+from repro.core.config import LinkConfig
+from repro.flow.floorplan import (
+    Floorplan,
+    floorplan_topology,
+    link_configs_from_floorplan,
+)
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import PermutationTraffic
+
+
+def line_topo():
+    topo = mesh(1, 3)
+    topo.add_initiator("cpu")
+    topo.add_target("mem")
+    topo.attach("cpu", "sw_0_0")
+    topo.attach("mem", "sw_2_0")
+    return topo
+
+
+class TestLinkOverrides:
+    def test_override_applies_to_named_edge(self):
+        topo = line_topo()
+        cfg = NocBuildConfig(
+            link_overrides={frozenset(("sw_0_0", "sw_1_0")): LinkConfig(stages=4)}
+        )
+        noc = Noc(topo, cfg)
+        deep = [l for l in noc.links if "sw_0_0" in l.name and "sw_1_0" in l.name]
+        shallow = [l for l in noc.links if "sw_1_0" in l.name and "sw_2_0" in l.name]
+        assert all(l.config.stages == 4 for l in deep)
+        assert all(l.config.stages == 1 for l in shallow)
+
+    def test_window_covers_deepest_link(self):
+        from repro.core.flow_control import window_for_link
+
+        topo = line_topo()
+        cfg = NocBuildConfig(
+            link_overrides={frozenset(("sw_0_0", "sw_1_0")): LinkConfig(stages=5)}
+        )
+        noc = Noc(topo, cfg)
+        assert noc.link_window == window_for_link(5)
+
+    def test_traffic_flows_across_mixed_depths(self):
+        topo = line_topo()
+        cfg = NocBuildConfig(
+            link_overrides={frozenset(("sw_0_0", "sw_1_0")): LinkConfig(stages=3)}
+        )
+        noc = Noc(topo, cfg)
+        noc.add_traffic_master(
+            "cpu", PermutationTraffic("mem", 0.05, seed=1), max_transactions=15
+        )
+        noc.add_memory_slave("mem")
+        noc.run_until_drained(max_cycles=200_000)
+        assert noc.total_completed() == 15
+
+    def test_override_adds_latency(self):
+        def latency(stages):
+            topo = line_topo()
+            overrides = (
+                {frozenset(("sw_0_0", "sw_1_0")): LinkConfig(stages=stages)}
+                if stages > 1
+                else {}
+            )
+            noc = Noc(topo, NocBuildConfig(link_overrides=overrides))
+            noc.add_traffic_master(
+                "cpu", PermutationTraffic("mem", 0.02, seed=1), max_transactions=10
+            )
+            noc.add_memory_slave("mem")
+            noc.run_until_drained(max_cycles=200_000)
+            return noc.aggregate_latency().mean()
+
+        # The override stretches one link on both request and response
+        # paths: 2 extra stages x 2 directions = 4 extra cycles.
+        assert latency(3) == pytest.approx(latency(1) + 4, abs=1.0)
+
+
+class TestOverrideValidation:
+    def test_unknown_edge_rejected(self):
+        topo = line_topo()
+        cfg = NocBuildConfig(
+            link_overrides={frozenset(("sw_0_0", "nonexistent")): LinkConfig(stages=2)}
+        )
+        with pytest.raises(Exception, match="do not exist"):
+            Noc(topo, cfg)
+
+    def test_ni_attachment_overridable(self):
+        topo = line_topo()
+        cfg = NocBuildConfig(
+            link_overrides={frozenset(("cpu", "sw_0_0")): LinkConfig(stages=2)}
+        )
+        noc = Noc(topo, cfg)
+        ni_links = [l for l in noc.links if "cpu" in l.name]
+        assert all(l.config.stages == 2 for l in ni_links)
+
+
+class TestFloorplanToSim:
+    def test_long_wires_get_stages(self):
+        plan = Floorplan(
+            positions={"a": (0, 0), "b": (5, 0)},
+            tile_mm=1.0,
+            link_lengths_mm={("a", "b"): 5.0},
+        )
+        overrides = link_configs_from_floorplan(plan, freq_mhz=1000)
+        assert overrides[frozenset(("a", "b"))].stages == 3  # 5mm / 2mm-per-stage
+
+    def test_short_wires_not_listed(self):
+        plan = Floorplan(
+            positions={"a": (0, 0), "b": (1, 0)},
+            tile_mm=1.0,
+            link_lengths_mm={("a", "b"): 1.0},
+        )
+        assert link_configs_from_floorplan(plan, freq_mhz=1000) == {}
+
+    def test_base_config_fields_preserved(self):
+        plan = Floorplan(
+            positions={}, tile_mm=1.0, link_lengths_mm={("a", "b"): 9.0}
+        )
+        base = LinkConfig(stages=1, error_rate=0.01)
+        out = link_configs_from_floorplan(plan, 1000, base=base)
+        assert out[frozenset(("a", "b"))].error_rate == 0.01
+
+    def test_end_to_end_floorplan_driven_build(self):
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 2, 2)
+        plan = floorplan_topology(topo, tile_mm=3.0)  # big tiles: long wires
+        overrides = link_configs_from_floorplan(plan, freq_mhz=1000)
+        assert overrides  # 3 mm wires need 2 stages at 1 GHz
+        cfg = NocBuildConfig(link_overrides=overrides)
+        noc = Noc(topo, cfg)
+        from repro.network.traffic import UniformRandomTraffic
+
+        noc.populate(
+            {c: UniformRandomTraffic(topo.targets, 0.05, seed=i)
+             for i, c in enumerate(topo.initiators)},
+            max_transactions=10,
+        )
+        noc.run_until_drained(max_cycles=200_000)
+        assert noc.total_completed() == 20

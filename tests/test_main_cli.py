@@ -1,0 +1,21 @@
+"""The top-level ``python -m repro`` command line."""
+
+from repro.__main__ import main
+
+
+class TestTopLevelCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "xpipes Lite" in out
+        assert "repro.compiler" in out
+
+    def test_default_is_info(self, capsys):
+        assert main([]) == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_demo_runs_a_network(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "200 transactions" in out
+        assert "pJ/transaction" in out

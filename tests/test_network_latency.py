@@ -1,0 +1,89 @@
+"""Packet-level network latency instrumentation."""
+
+import pytest
+
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import PermutationTraffic, UniformRandomTraffic
+
+
+def run_line(rate=0.02, txns=15, **cfg_kwargs):
+    topo = mesh(1, 3)
+    topo.add_initiator("cpu")
+    topo.add_target("mem")
+    topo.attach("cpu", "sw_0_0")
+    topo.attach("mem", "sw_2_0")
+    noc = Noc(topo, NocBuildConfig(**cfg_kwargs) if cfg_kwargs else None)
+    noc.add_traffic_master(
+        "cpu", PermutationTraffic("mem", rate, seed=1), max_transactions=txns
+    )
+    noc.add_memory_slave("mem", wait_states=4)
+    noc.run_until_drained(max_cycles=300_000)
+    return noc
+
+
+class TestNetworkLatency:
+    def test_samples_cover_both_directions(self):
+        noc = run_line()
+        # One request packet per txn at the target NI, one response at
+        # the initiator NI.
+        assert noc.network_latency().count == 2 * 15
+
+    def test_network_latency_below_transaction_latency(self):
+        noc = run_line()
+        assert noc.network_latency().mean() < noc.aggregate_latency().mean()
+
+    def test_memory_time_excluded(self):
+        """Raising memory wait states must not move packet latency."""
+        def pkt_mean(ws):
+            topo = mesh(1, 3)
+            topo.add_initiator("cpu")
+            topo.add_target("mem")
+            topo.attach("cpu", "sw_0_0")
+            topo.attach("mem", "sw_2_0")
+            noc = Noc(topo)
+            noc.add_traffic_master(
+                "cpu", PermutationTraffic("mem", 0.02, seed=1), max_transactions=10
+            )
+            noc.add_memory_slave("mem", wait_states=ws)
+            noc.run_until_drained(max_cycles=300_000)
+            return noc.network_latency().mean()
+
+        assert pkt_mean(20) == pytest.approx(pkt_mean(0), abs=0.5)
+
+    def test_network_latency_grows_with_hops(self):
+        def pkt_mean(cols):
+            topo = mesh(1, cols)
+            topo.add_initiator("cpu")
+            topo.add_target("mem")
+            topo.attach("cpu", "sw_0_0")
+            topo.attach("mem", f"sw_{cols - 1}_0")
+            noc = Noc(topo)
+            noc.add_traffic_master(
+                "cpu", PermutationTraffic("mem", 0.02, seed=1), max_transactions=10
+            )
+            noc.add_memory_slave("mem")
+            noc.run_until_drained(max_cycles=300_000)
+            return noc.network_latency().mean()
+
+        # Each extra switch hop costs CYCLES_PER_HOP = 3 cycles (the
+        # switch's 2 stages overlap one cycle of the link's latency).
+        assert pkt_mean(4) == pytest.approx(pkt_mean(2) + 2 * 3, abs=1.0)
+
+    def test_matches_selection_model_roughly(self):
+        """The flow's CYCLES_PER_HOP estimate tracks measurement."""
+        from repro.flow.selection import CYCLES_PER_HOP, NI_OVERHEAD_CYCLES
+
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        noc = Noc(topo)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.02, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=20,
+        )
+        noc.run_until_drained(max_cycles=300_000)
+        measured = noc.network_latency().mean()
+        # Mean path on a 2x2 mesh with these attachments: 1-3 switches.
+        estimate_lo = 1 * CYCLES_PER_HOP + NI_OVERHEAD_CYCLES
+        estimate_hi = 3 * CYCLES_PER_HOP + NI_OVERHEAD_CYCLES + 8
+        assert estimate_lo <= measured <= estimate_hi

@@ -1,0 +1,239 @@
+"""Unit tests for the network interfaces.
+
+An initiator NI and a target NI are wired back to back through links
+(no switch): routes are empty port sequences, which is exactly what the
+compiler generates when two NIs share a switch-free point-to-point
+connection.  Cores are the behavioural OCP master/slave models.
+"""
+
+import pytest
+
+from repro.core.config import LinkConfig, NiConfig, NocParameters
+from repro.core.link import Link
+from repro.core.ni import InitiatorNI, NiProtocolError, TargetNI
+from repro.core.ocp import OcpMasterPort, OcpSlavePort
+from repro.core.routing import AddressMap, Route, RoutingTable
+from repro.network.cores import OcpMemorySlave, OcpTrafficMaster
+from repro.network.traffic import ScriptedTraffic, TxnTemplate
+from repro.sim.kernel import Simulator
+
+
+def ni_pair_rig(params=None, wait_states=1, interrupt_schedule=None, script=()):
+    params = params or NocParameters(flit_width=32)
+    sim = Simulator()
+    ni_cfg = NiConfig(params=params)
+    amap = AddressMap(["mem"])
+
+    # Channels: initiator tx -> link -> target rx ; target tx -> link -> initiator rx
+    i_tx = sim.flit_channel("i.tx")
+    t_rx = sim.flit_channel("t.rx")
+    sim.add(Link("l.req", i_tx, t_rx, LinkConfig(), seed=1))
+    t_tx = sim.flit_channel("t.tx")
+    i_rx = sim.flit_channel("i.rx")
+    sim.add(Link("l.resp", t_tx, i_rx, LinkConfig(), seed=2))
+
+    m_port = OcpMasterPort(sim, "cpu.ocp")
+    s_port = OcpSlavePort(sim, "mem.ocp")
+
+    ini = sim.add(
+        InitiatorNI(
+            "cpu.ni",
+            node_id=0,
+            config=ni_cfg,
+            ocp=m_port,
+            req_channel=i_tx,
+            resp_channel=i_rx,
+            routing=RoutingTable(address_map=amap, forward={"mem": (1, Route(()))}),
+        )
+    )
+    targ = sim.add(
+        TargetNI(
+            "mem.ni",
+            node_id=1,
+            config=ni_cfg,
+            ocp=s_port,
+            req_channel=t_rx,
+            resp_channel=t_tx,
+            routing=RoutingTable(reverse={0: Route(())}),
+            interrupt_target=0,
+        )
+    )
+    master = sim.add(
+        OcpTrafficMaster(
+            "cpu",
+            m_port,
+            ScriptedTraffic(list(script)),
+            amap,
+            max_outstanding=4,
+            max_transactions=len(script) or None,
+        )
+    )
+    slave = sim.add(
+        OcpMemorySlave(
+            "mem", s_port, wait_states=wait_states, interrupt_schedule=interrupt_schedule
+        )
+    )
+    return sim, master, slave, ini, targ
+
+
+def wr(offset, burst=1, cycle=0):
+    return (cycle, TxnTemplate(target="mem", offset=offset, is_read=False, burst_len=burst))
+
+
+def rd(offset, burst=1, cycle=0):
+    return (cycle, TxnTemplate(target="mem", offset=offset, is_read=True, burst_len=burst))
+
+
+class TestSingleTransactions:
+    def test_write_completes_and_lands_in_memory(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[wr(0x10)])
+        sim.run(200)
+        assert master.completed == 1
+        assert 0x10 in slave.memory
+
+    def test_read_returns_written_data(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[wr(0x20), rd(0x20, cycle=100)])
+        sim.run(400)
+        assert master.completed == 2
+        read_txn = [t for t in master.read_data][0]
+        stored = slave.memory[0x20]
+        assert master.read_data[read_txn] == (stored,)
+
+    def test_read_of_unwritten_memory_returns_zero(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[rd(0x44)])
+        sim.run(200)
+        assert list(master.read_data.values()) == [(0,)]
+
+    def test_latency_recorded(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[rd(0)])
+        sim.run(200)
+        assert master.latency.count == 1
+        assert master.latency.samples[0] > 5  # NIs + links + memory
+
+    def test_ni_idle_after_drain(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[wr(1), rd(1)])
+        sim.run(300)
+        assert ini.idle and targ.idle
+
+
+class TestBursts:
+    @pytest.mark.parametrize("burst", [1, 4, 8])
+    def test_burst_write_stores_every_beat(self, burst):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[wr(0x30, burst=burst)])
+        sim.run(400)
+        assert master.completed == 1
+        assert all((0x30 + b) in slave.memory for b in range(burst))
+
+    def test_burst_read_returns_all_beats_in_order(self):
+        sim, master, slave, ini, targ = ni_pair_rig(
+            script=[wr(0x40, burst=4), rd(0x40, burst=4, cycle=150)]
+        )
+        sim.run(600)
+        data = list(master.read_data.values())[0]
+        assert len(data) == 4
+        assert data == tuple(slave.memory[0x40 + b] for b in range(4))
+
+    def test_burst_flit_count_scales(self):
+        sim, master, slave, ini, targ = ni_pair_rig(script=[wr(0, burst=8)])
+        sim.run(400)
+        # 8 beats of 32 bits + ~55-bit header in 32-bit flits -> 10 flits.
+        assert ini.tx.sender.sent_flits >= 10
+
+
+class TestPipelining:
+    def test_multiple_outstanding_transactions(self):
+        script = [rd(i, cycle=0) for i in range(6)]
+        sim, master, slave, ini, targ = ni_pair_rig(script=script)
+        sim.run(800)
+        assert master.completed == 6
+
+    def test_independent_request_response_channels(self):
+        """Writes keep flowing while an earlier read's response returns."""
+        script = [rd(0), wr(1), rd(2), wr(3)]
+        sim, master, slave, ini, targ = ni_pair_rig(script=script)
+        sim.run(600)
+        assert master.completed == 4
+
+    def test_thread_ids_preserved(self):
+        script = [
+            (0, TxnTemplate(target="mem", offset=0, is_read=True, thread_id=2)),
+        ]
+        sim, master, slave, ini, targ = ni_pair_rig(script=script)
+        sim.run(200)
+        assert master.completed == 1
+
+
+class TestSideband:
+    def test_interrupt_travels_to_initiator(self):
+        sim, master, slave, ini, targ = ni_pair_rig(
+            script=[], interrupt_schedule=[(10, 0x5)]
+        )
+        sim.run(100)
+        assert len(master.interrupts) == 1
+        assert master.interrupts[0].vector == 0x5
+        assert master.interrupts[0].source_id == 1  # the target NI's id
+
+    def test_interrupt_without_target_configured_dropped(self):
+        sim, master, slave, ini, targ = ni_pair_rig(
+            script=[], interrupt_schedule=[(10, 0x5)]
+        )
+        targ.interrupt_target = None
+        sim.run(100)
+        assert master.interrupts == []
+
+
+class TestErrorPaths:
+    def test_unknown_address_raises(self):
+        # No scripted traffic: drive a rogue request straight at the NI.
+        sim, master, slave, ini, targ = ni_pair_rig(script=[])
+        from repro.core.ocp import BurstTransaction, OcpCmd
+
+        bad = BurstTransaction(cmd=OcpCmd.READ, addr=0xFFFF_0000)
+        master.port.drive_request(bad)
+        with pytest.raises(KeyError, match="maps to no target"):
+            sim.run(5)
+
+    def test_unexpected_response_raises(self):
+        from repro.core.packet import Packet, PacketHeader, PacketKind
+
+        sim, master, slave, ini, targ = ni_pair_rig(script=[])
+        ghost = Packet(
+            header=PacketHeader(
+                route=(), kind=PacketKind.READ_RESP, src_id=1, burst_len=1, addr=0
+            ),
+            payload=(0,),
+        )
+        with pytest.raises(NiProtocolError, match="nothing outstanding"):
+            ini._handle_response_packet(ghost, cycle=0)
+
+    def test_request_kind_enforced_at_target(self):
+        from repro.core.packet import Packet, PacketHeader, PacketKind
+
+        sim, master, slave, ini, targ = ni_pair_rig(script=[])
+        ghost = Packet(
+            header=PacketHeader(
+                route=(), kind=PacketKind.WRITE_ACK, src_id=0, burst_len=1, addr=0
+            ),
+        )
+        with pytest.raises(NiProtocolError, match="unexpected"):
+            targ._handle_request_packet(ghost, cycle=0)
+
+
+class TestBackEndFlowControl:
+    def test_tx_respects_outstanding_capacity(self):
+        params = NocParameters(flit_width=32)
+        sim, master, slave, ini, targ = ni_pair_rig(
+            params=params, script=[rd(i) for i in range(12)]
+        )
+        sim.run(1500)
+        assert master.completed == 12
+
+    def test_write_data_integrity_across_flit_widths(self):
+        for width in (16, 64, 128):
+            params = NocParameters(flit_width=width)
+            sim, master, slave, ini, targ = ni_pair_rig(
+                params=params, script=[wr(0x11, burst=3)]
+            )
+            sim.run(500)
+            assert master.completed == 1, f"width {width}"
+            assert len(slave.memory) == 3

@@ -1,0 +1,196 @@
+"""Unit tests for NI extensions: posted writes, thread resequencing."""
+
+import pytest
+
+from repro.core.config import LinkConfig, NiConfig, NocParameters
+from repro.core.link import Link
+from repro.core.ni import InitiatorNI, TargetNI
+from repro.core.ocp import OcpMasterPort, OcpSlavePort
+from repro.core.packet import PacketKind
+from repro.core.routing import AddressMap, Route, RoutingTable
+from repro.network.cores import OcpMemorySlave, OcpTrafficMaster
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import ScriptedTraffic, TxnTemplate
+from repro.sim.kernel import Simulator
+
+
+def rig(ni_cfg_kwargs=None, wait_states=1, script=(), slave_waits=None):
+    """Initiator NI <-> Target NI back to back (same shape as test_ni)."""
+    params = NocParameters(flit_width=32)
+    ni_cfg = NiConfig(params=params, **(ni_cfg_kwargs or {}))
+    sim = Simulator()
+    amap = AddressMap(["mem"])
+    i_tx = sim.flit_channel("i.tx")
+    t_rx = sim.flit_channel("t.rx")
+    sim.add(Link("l.req", i_tx, t_rx, LinkConfig(), seed=1))
+    t_tx = sim.flit_channel("t.tx")
+    i_rx = sim.flit_channel("i.rx")
+    sim.add(Link("l.resp", t_tx, i_rx, LinkConfig(), seed=2))
+    m_port = OcpMasterPort(sim, "cpu.ocp")
+    s_port = OcpSlavePort(sim, "mem.ocp")
+    ini = sim.add(
+        InitiatorNI(
+            "cpu.ni", 0, ni_cfg, m_port, i_tx, i_rx,
+            RoutingTable(address_map=amap, forward={"mem": (1, Route(()))}),
+        )
+    )
+    targ = sim.add(
+        TargetNI(
+            "mem.ni", 1, ni_cfg, s_port, t_rx, t_tx,
+            RoutingTable(reverse={0: Route(())}),
+        )
+    )
+    master = sim.add(
+        OcpTrafficMaster(
+            "cpu", m_port, ScriptedTraffic(list(script)), amap,
+            max_outstanding=4, max_transactions=len(script) or None,
+        )
+    )
+    slave = sim.add(OcpMemorySlave("mem", s_port, wait_states=wait_states))
+    return sim, master, slave, ini, targ
+
+
+def wr(offset, cycle=0):
+    return (cycle, TxnTemplate("mem", offset=offset, is_read=False))
+
+
+def rd(offset, cycle=0):
+    return (cycle, TxnTemplate("mem", offset=offset, is_read=True))
+
+
+class TestPostedWrites:
+    def test_posted_write_completes_locally_and_lands(self):
+        sim, master, slave, ini, targ = rig(
+            {"posted_writes": True}, script=[wr(0x10)]
+        )
+        sim.run(200)
+        assert master.completed == 1
+        assert 0x10 in slave.memory  # the data still arrived
+        # No response packet crossed the network.
+        assert targ.tx.packets_sent == 0
+
+    def test_posted_write_is_faster(self):
+        def write_latency(posted):
+            sim, master, slave, ini, targ = rig(
+                {"posted_writes": posted}, script=[wr(0)], wait_states=4
+            )
+            sim.run(300)
+            return master.latency.samples[0]
+
+        assert write_latency(True) < write_latency(False) / 2
+
+    def test_reads_still_round_trip_when_posted(self):
+        sim, master, slave, ini, targ = rig(
+            {"posted_writes": True}, script=[wr(0x4), rd(0x4, cycle=100)]
+        )
+        sim.run(400)
+        assert master.completed == 2
+        assert list(master.read_data.values())[0] == (slave.memory[0x4],)
+
+    def test_posted_kind_on_the_wire(self):
+        sim, master, slave, ini, targ = rig({"posted_writes": True}, script=[wr(1)])
+        sim.run(200)
+        # The target NI served it without issuing a response.
+        assert targ.requests_served == 1
+        assert ini.idle and targ.idle
+
+    def test_many_posted_writes_drain(self):
+        script = [wr(i) for i in range(10)]
+        sim, master, slave, ini, targ = rig({"posted_writes": True}, script=script)
+        sim.run(800)
+        assert master.completed == 10
+        assert len(slave.memory) == 10
+
+
+class TestThreadResequencing:
+    def test_in_order_delivery_within_thread(self):
+        """Responses from targets with different service times must be
+        delivered in issue order when enforce_thread_order is set."""
+        topo = mesh(1, 2)
+        topo.add_initiator("cpu")
+        topo.add_target("fast")
+        topo.add_target("slow")
+        topo.attach("cpu", "sw_0_0")
+        topo.attach("fast", "sw_0_0")
+        topo.attach("slow", "sw_1_0")
+        noc = Noc(topo, NocBuildConfig())
+        # Flip the NI config: rebuild with enforce_thread_order.
+        # (Build path: use NocBuildConfig's NI knobs via a fresh Noc.)
+        import dataclasses
+
+        for ni in noc.initiator_nis.values():
+            ni.config = dataclasses.replace(ni.config, enforce_thread_order=True)
+        script = [
+            (0, TxnTemplate("slow", offset=0, is_read=True)),
+            (0, TxnTemplate("fast", offset=0, is_read=True)),
+            (0, TxnTemplate("fast", offset=1, is_read=True)),
+        ]
+        master = noc.add_traffic_master("cpu", ScriptedTraffic(script),
+                                        max_outstanding=4, max_transactions=3)
+        noc.add_memory_slave("fast", wait_states=0)
+        noc.add_memory_slave("slow", wait_states=30)
+        order = []
+        original = master.port.accept_response
+
+        def spy(txn_id):
+            order.append(txn_id)
+            original(txn_id)
+
+        master.port.accept_response = spy
+        noc.run_until_drained(max_cycles=200_000)
+        assert master.completed == 3
+        # Issue order == txn_id order: the slow response came first.
+        assert order == sorted(order)
+
+    def test_threads_do_not_block_each_other(self):
+        """A slow thread-0 read must not delay a thread-1 response."""
+        topo = mesh(1, 2)
+        topo.add_initiator("cpu")
+        topo.add_target("fast")
+        topo.add_target("slow")
+        topo.attach("cpu", "sw_0_0")
+        topo.attach("fast", "sw_0_0")
+        topo.attach("slow", "sw_1_0")
+        noc = Noc(topo)
+        import dataclasses
+
+        for ni in noc.initiator_nis.values():
+            ni.config = dataclasses.replace(ni.config, enforce_thread_order=True)
+        script = [
+            (0, TxnTemplate("slow", offset=0, is_read=True, thread_id=0)),
+            (0, TxnTemplate("fast", offset=0, is_read=True, thread_id=1)),
+        ]
+        master = noc.add_traffic_master("cpu", ScriptedTraffic(script),
+                                        max_outstanding=4, max_transactions=2)
+        noc.add_memory_slave("fast", wait_states=0)
+        noc.add_memory_slave("slow", wait_states=60)
+        completions = {}
+        original = master.port.accept_response
+
+        def spy(txn_id):
+            completions[txn_id] = noc.sim.cycle
+            original(txn_id)
+
+        master.port.accept_response = spy
+        noc.run_until_drained(max_cycles=200_000)
+        slow_txn, fast_txn = sorted(completions)
+        assert completions[fast_txn] < completions[slow_txn] - 20
+
+    def test_back_to_back_rig_with_ordering(self):
+        sim, master, slave, ini, targ = rig(
+            {"enforce_thread_order": True},
+            script=[rd(0), rd(1), wr(2), rd(3)],
+        )
+        sim.run(800)
+        assert master.completed == 4
+        assert ini.idle
+
+    def test_posted_plus_ordering(self):
+        sim, master, slave, ini, targ = rig(
+            {"posted_writes": True, "enforce_thread_order": True},
+            script=[wr(0), rd(0, cycle=5), wr(1, cycle=10)],
+        )
+        sim.run(800)
+        assert master.completed == 3
+        assert ini.idle

@@ -1,0 +1,116 @@
+"""Unit tests for the OCP transaction layer."""
+
+import pytest
+
+from repro.core.ocp import (
+    BurstTransaction,
+    OcpCmd,
+    OcpMasterPort,
+    OcpResponse,
+    OcpSlavePort,
+    SidebandEvent,
+    SResp,
+    next_txn_id,
+)
+
+
+class TestBurstTransaction:
+    def test_read_defaults(self):
+        t = BurstTransaction(cmd=OcpCmd.READ, addr=0x100)
+        assert t.is_read and not t.is_write
+        assert t.burst_len == 1
+        assert t.data == ()
+
+    def test_write_needs_matching_data(self):
+        BurstTransaction(cmd=OcpCmd.WRITE, addr=0, burst_len=2, data=(1, 2))
+        with pytest.raises(ValueError, match="data words"):
+            BurstTransaction(cmd=OcpCmd.WRITE, addr=0, burst_len=2, data=(1,))
+
+    def test_read_with_data_rejected(self):
+        with pytest.raises(ValueError, match="no data"):
+            BurstTransaction(cmd=OcpCmd.READ, addr=0, data=(1,))
+
+    def test_idle_rejected(self):
+        with pytest.raises(ValueError, match="IDLE"):
+            BurstTransaction(cmd=OcpCmd.IDLE, addr=0)
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError, match="burst_len"):
+            BurstTransaction(cmd=OcpCmd.READ, addr=0, burst_len=0)
+
+    def test_txn_ids_unique(self):
+        a = BurstTransaction(cmd=OcpCmd.READ, addr=0)
+        b = BurstTransaction(cmd=OcpCmd.READ, addr=0)
+        assert a.txn_id != b.txn_id
+        assert next_txn_id() > 0
+
+
+class TestOcpResponse:
+    def test_ok_flag(self):
+        assert OcpResponse(txn_id=1, sresp=SResp.DVA).ok
+        assert not OcpResponse(txn_id=1, sresp=SResp.ERR).ok
+
+
+class TestMasterPortHandshake:
+    def test_request_takes_one_cycle(self, sim):
+        port = OcpMasterPort(sim, "p")
+        txn = BurstTransaction(cmd=OcpCmd.READ, addr=4)
+        port.drive_request(txn)
+        assert port.peek_request() is None  # registered wire
+        sim.step()
+        assert port.peek_request() == txn
+
+    def test_accept_carries_txn_id(self, sim):
+        port = OcpMasterPort(sim, "p")
+        port.accept_request(42)
+        sim.step()
+        assert port.accepted_request_id() == 42
+
+    def test_response_roundtrip(self, sim):
+        port = OcpMasterPort(sim, "p")
+        resp = OcpResponse(txn_id=7, sresp=SResp.DVA, data=(9,))
+        port.drive_response(resp)
+        sim.step()
+        assert port.peek_response() == resp
+        port.accept_response(7)
+        sim.step()
+        assert port.accepted_response_id() == 7
+
+    def test_sideband_pulse(self, sim):
+        port = OcpMasterPort(sim, "p")
+        ev = SidebandEvent(source_id=3, vector=5)
+        port.raise_sideband(ev)
+        sim.step()
+        assert port.peek_sideband() == ev
+        sim.step()  # pulse decays
+        assert port.peek_sideband() is None
+
+    def test_undriven_wires_decay(self, sim):
+        port = OcpMasterPort(sim, "p")
+        txn = BurstTransaction(cmd=OcpCmd.READ, addr=4)
+        port.drive_request(txn)
+        sim.step()
+        sim.step()  # no drive this cycle
+        assert port.peek_request() is None
+
+
+class TestSlavePortHandshake:
+    def test_mirrors_master_port(self, sim):
+        port = OcpSlavePort(sim, "s")
+        txn = BurstTransaction(cmd=OcpCmd.WRITE, addr=0, burst_len=1, data=(5,))
+        port.drive_request(txn)
+        sim.step()
+        assert port.peek_request() == txn
+        port.accept_request(txn.txn_id)
+        sim.step()
+        assert port.accepted_request_id() == txn.txn_id
+
+    def test_slave_response_path(self, sim):
+        port = OcpSlavePort(sim, "s")
+        resp = OcpResponse(txn_id=1, sresp=SResp.DVA)
+        port.drive_response(resp)
+        sim.step()
+        assert port.peek_response() == resp
+        port.accept_response(1)
+        sim.step()
+        assert port.accepted_response_id() == 1

@@ -1,0 +1,141 @@
+"""The self-checking scoreboard: catching silent data corruption."""
+
+import pytest
+
+from repro.core.config import LinkConfig
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.scoreboard import (
+    CheckedTrafficMaster,
+    ScoreboardError,
+    add_checked_masters,
+    assert_all_clean,
+    private_stripe_patterns,
+)
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import ScriptedTraffic, TxnTemplate
+
+
+def checked_noc(cfg=None, rate=0.1, txns=30, n_cpus=2, n_mems=2, seed=0):
+    topo = mesh(2, 2)
+    cpus, mems = attach_round_robin(topo, n_cpus, n_mems)
+    noc = Noc(topo, cfg)
+    patterns = private_stripe_patterns(cpus, mems, rate=rate, seed=seed)
+    masters = add_checked_masters(noc, patterns, max_transactions=txns)
+    for m in mems:
+        noc.add_memory_slave(m)
+    return noc, masters
+
+
+class TestPrivateStripes:
+    def test_stripes_are_disjoint(self):
+        patterns = private_stripe_patterns(["a", "b", "c"], ["m"], rate=1.0,
+                                           stripe_words=32, seed=1)
+        offsets = {name: set() for name in patterns}
+        for name, p in patterns.items():
+            for cyc in range(500):
+                t = p.next_transaction(cyc)
+                if t:
+                    offsets[name].add(t.offset)
+        assert offsets["a"] and offsets["b"] and offsets["c"]
+        assert not (offsets["a"] & offsets["b"])
+        assert not (offsets["b"] & offsets["c"])
+
+    def test_needs_masters(self):
+        with pytest.raises(ValueError):
+            private_stripe_patterns([], ["m"], rate=0.1)
+
+
+class TestCheckedRuns:
+    def test_clean_network_passes(self):
+        noc, masters = checked_noc()
+        noc.run_until_drained(max_cycles=500_000)
+        assert_all_clean(masters)
+        assert sum(m.reads_checked for m in masters.values()) > 0
+
+    def test_clean_under_detected_errors(self):
+        """Abstract error mode: retransmission keeps data exact."""
+        cfg = NocBuildConfig(link=LinkConfig(error_rate=0.02), seed=5)
+        noc, masters = checked_noc(cfg=cfg, txns=25)
+        noc.run_until_drained(max_cycles=2_000_000)
+        assert noc.total_errors_injected() > 0
+        assert_all_clean(masters)
+
+    def test_clean_under_crc_protected_bit_errors(self):
+        """Bit-accurate mode with CRC: flips detected, data exact."""
+        cfg = NocBuildConfig(
+            crc_mode=True,
+            link=LinkConfig(error_rate=0.01, bit_errors=True),
+            seed=5,
+        )
+        noc, masters = checked_noc(cfg=cfg, txns=20)
+        noc.run_until_drained(max_cycles=2_000_000)
+        assert_all_clean(masters)
+
+    def test_scoreboard_catches_injected_corruption(self):
+        """Poison the slave's memory behind a completed write: the next
+        read must trip the scoreboard."""
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 1, 1)
+        noc = Noc(topo)
+        script = [
+            (0, TxnTemplate("mem0", offset=4, is_read=False, burst_len=1)),
+            (200, TxnTemplate("mem0", offset=4, is_read=True, burst_len=1)),
+        ]
+        masters = add_checked_masters(
+            noc, {"cpu0": ScriptedTraffic(script)}, max_transactions=2
+        )
+        slave = noc.add_memory_slave("mem0")
+        noc.sim.run_until(
+            lambda: masters["cpu0"].completed >= 1, 100_000
+        )
+        # Corrupt the stored word between the write and the read.
+        (addr,) = list(slave.memory)
+        slave.memory[addr] ^= 0xFF
+        noc.run_until_drained(max_cycles=200_000)
+        with pytest.raises(ScoreboardError, match="corrupted read"):
+            assert_all_clean(masters)
+
+    def test_unwritten_reads_checked_against_zero(self):
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 1, 1)
+        noc = Noc(topo)
+        script = [(0, TxnTemplate("mem0", offset=9, is_read=True))]
+        masters = add_checked_masters(
+            noc, {"cpu0": ScriptedTraffic(script)}, max_transactions=1
+        )
+        noc.add_memory_slave("mem0")
+        noc.run_until_drained(max_cycles=100_000)
+        assert_all_clean(masters)
+        assert masters["cpu0"].words_checked == 1
+
+    def test_check_unwritten_can_be_disabled(self):
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 1, 1)
+        noc = Noc(topo)
+        script = [(0, TxnTemplate("mem0", offset=9, is_read=True))]
+        port = noc.master_ports["cpu0"]
+        master = CheckedTrafficMaster(
+            "cpu0.core", port, ScriptedTraffic(script), noc.address_map,
+            max_transactions=1, check_unwritten=False,
+        )
+        noc.masters["cpu0"] = master
+        noc.sim.add(master)
+        noc.add_memory_slave("mem0")
+        noc.run_until_drained(max_cycles=100_000)
+        assert master.words_checked == 0
+
+    def test_burst_writes_shadowed_per_beat(self):
+        topo = mesh(2, 2)
+        attach_round_robin(topo, 1, 1)
+        noc = Noc(topo)
+        script = [
+            (0, TxnTemplate("mem0", offset=0, is_read=False, burst_len=4)),
+            (200, TxnTemplate("mem0", offset=0, is_read=True, burst_len=4)),
+        ]
+        masters = add_checked_masters(
+            noc, {"cpu0": ScriptedTraffic(script)}, max_transactions=2
+        )
+        noc.add_memory_slave("mem0")
+        noc.run_until_drained(max_cycles=200_000)
+        assert_all_clean(masters)
+        assert masters["cpu0"].words_checked == 4

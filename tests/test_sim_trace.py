@@ -1,0 +1,60 @@
+"""Unit tests for event tracing."""
+
+import io
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NullTracer, TextTracer
+
+
+class Chatty(Component):
+    def tick(self, cycle):
+        self.trace(cycle, "tick", value=cycle * 2)
+
+
+class TestTextTracer:
+    def test_records_events_with_fields(self):
+        tracer = TextTracer()
+        sim = Simulator(tracer)
+        sim.add(Chatty("c"))
+        sim.run(3)
+        assert len(tracer.events) == 3
+        cycle, source, event, fields = tracer.events[0]
+        assert (cycle, source, event) == (0, "c", "tick")
+        assert fields == {"value": 0}
+
+    def test_filtering(self):
+        tracer = TextTracer()
+        sim = Simulator(tracer)
+        sim.add(Chatty("a"))
+        sim.add(Chatty("b"))
+        sim.run(2)
+        assert len(tracer.of(source="a")) == 2
+        assert len(tracer.of(event="tick")) == 4
+        assert tracer.of(source="zzz") == []
+
+    def test_stream_output(self):
+        buf = io.StringIO()
+        tracer = TextTracer(stream=buf)
+        sim = Simulator(tracer)
+        sim.add(Chatty("core"))
+        sim.run(1)
+        assert "core" in buf.getvalue()
+        assert "value=0" in buf.getvalue()
+
+    def test_limit_caps_memory(self):
+        tracer = TextTracer(limit=5)
+        sim = Simulator(tracer)
+        sim.add(Chatty("c"))
+        sim.run(100)
+        assert len(tracer.events) == 5
+
+    def test_null_tracer_discards(self):
+        tracer = NullTracer()
+        sim = Simulator(tracer)
+        sim.add(Chatty("c"))
+        sim.run(5)  # must simply not blow up
+
+    def test_component_without_sim_traces_silently(self):
+        c = Chatty("orphan")
+        c.tick(0)  # no simulator bound; trace is a no-op

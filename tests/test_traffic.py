@@ -1,0 +1,118 @@
+"""Unit tests for traffic patterns."""
+
+import pytest
+
+from repro.network.traffic import (
+    HotspotTraffic,
+    PermutationTraffic,
+    RateTableTraffic,
+    ScriptedTraffic,
+    TxnTemplate,
+    UniformRandomTraffic,
+)
+
+TARGETS = ["m0", "m1", "m2", "m3"]
+
+
+def drain(pattern, cycles):
+    out = []
+    for c in range(cycles):
+        t = pattern.next_transaction(c)
+        if t is not None:
+            out.append(t)
+    return out
+
+
+class TestUniformRandom:
+    def test_rate_respected(self):
+        p = UniformRandomTraffic(TARGETS, rate=0.25, seed=1)
+        txns = drain(p, 8000)
+        assert 1700 < len(txns) < 2300
+
+    def test_targets_roughly_uniform(self):
+        p = UniformRandomTraffic(TARGETS, rate=1.0, seed=2)
+        txns = drain(p, 4000)
+        counts = {t: 0 for t in TARGETS}
+        for t in txns:
+            counts[t.target] += 1
+        assert all(800 < c < 1200 for c in counts.values())
+
+    def test_read_fraction(self):
+        p = UniformRandomTraffic(TARGETS, rate=1.0, read_fraction=0.8, seed=3)
+        txns = drain(p, 2000)
+        reads = sum(1 for t in txns if t.is_read)
+        assert 0.72 < reads / len(txns) < 0.88
+
+    def test_deterministic_per_seed_and_reset(self):
+        p = UniformRandomTraffic(TARGETS, rate=0.5, seed=7)
+        first = drain(p, 100)
+        p.reset()
+        assert drain(p, 100) == first
+
+    def test_offsets_bounded(self):
+        p = UniformRandomTraffic(TARGETS, rate=1.0, max_offset=16, seed=4)
+        assert all(0 <= t.offset < 16 for t in drain(p, 500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic([], rate=0.5)
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(TARGETS, rate=1.5)
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(TARGETS, rate=0.5, read_fraction=2.0)
+
+
+class TestHotspot:
+    def test_hotspot_gets_extra_share(self):
+        p = HotspotTraffic(
+            TARGETS, hotspot="m2", hot_fraction=0.6, rate=1.0, seed=5
+        )
+        txns = drain(p, 4000)
+        hot = sum(1 for t in txns if t.target == "m2")
+        assert hot / len(txns) > 0.55
+
+    def test_hotspot_must_be_a_target(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(TARGETS, hotspot="zz", hot_fraction=0.5, rate=0.5)
+
+
+class TestPermutation:
+    def test_all_traffic_to_one_target(self):
+        p = PermutationTraffic("m1", rate=1.0, seed=6)
+        assert all(t.target == "m1" for t in drain(p, 200))
+
+
+class TestScripted:
+    def test_entries_wait_for_their_cycle(self):
+        p = ScriptedTraffic([(5, TxnTemplate("m0")), (10, TxnTemplate("m1"))])
+        assert p.next_transaction(0) is None
+        assert p.next_transaction(5).target == "m0"
+        assert p.next_transaction(6) is None
+        assert p.next_transaction(12).target == "m1"
+        assert p.exhausted
+
+    def test_unsorted_script_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedTraffic([(5, TxnTemplate("m0")), (1, TxnTemplate("m1"))])
+
+    def test_reset_rewinds(self):
+        p = ScriptedTraffic([(0, TxnTemplate("m0"))])
+        p.next_transaction(0)
+        p.reset()
+        assert not p.exhausted
+
+
+class TestRateTable:
+    def test_weights_respected(self):
+        p = RateTableTraffic({"m0": 3.0, "m1": 1.0}, total_rate=1.0, seed=8)
+        txns = drain(p, 4000)
+        m0 = sum(1 for t in txns if t.target == "m0")
+        assert 0.68 < m0 / len(txns) < 0.82
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateTableTraffic({}, total_rate=0.5)
+        with pytest.raises(ValueError):
+            RateTableTraffic({"m0": 0.0}, total_rate=0.5)
+        with pytest.raises(ValueError):
+            RateTableTraffic({"m0": -1.0, "m1": 2.0}, total_rate=0.5)

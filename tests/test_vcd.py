@@ -1,0 +1,97 @@
+"""Unit tests for the VCD waveform writer."""
+
+import io
+
+import pytest
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.sim.vcd import VcdWriter, _identifier, _render
+
+
+class Counter(Component):
+    def __init__(self, name, wire):
+        super().__init__(name)
+        self.wire = wire
+
+    def tick(self, cycle):
+        self.wire.drive(cycle % 4)
+
+
+class TestHelpers:
+    def test_identifiers_unique_and_printable(self):
+        idents = [_identifier(i) for i in range(200)]
+        assert len(set(idents)) == 200
+        assert all(33 <= ord(c) <= 126 for ident in idents for c in ident)
+
+    def test_render_none_is_x(self):
+        assert _render(None, 4) == "bxxxx"
+
+    def test_render_int(self):
+        assert _render(5, 4) == "b0101"
+
+    def test_render_bool(self):
+        assert _render(True, 2) == "b01"
+
+    def test_render_object_is_stable(self):
+        class Thing:
+            def __repr__(self):
+                return "Thing<1>"
+
+        a, b = Thing(), Thing()
+        assert _render(a, 16) == _render(b, 16)
+
+
+class TestVcdWriter:
+    def build(self):
+        sim = Simulator()
+        w = sim.wire("bus.data")
+        sim.add(Counter("cnt", w))
+        buf = io.StringIO()
+        vcd = VcdWriter(buf, sim, wires=[w], width=8)
+        sim.add_watcher(vcd.sample)
+        return sim, vcd, buf
+
+    def test_header_declares_signals(self):
+        sim, vcd, buf = self.build()
+        text = buf.getvalue()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 8" in text
+        assert "bus.data" in text
+        assert "$enddefinitions $end" in text
+
+    def test_value_changes_recorded(self):
+        sim, vcd, buf = self.build()
+        sim.run(6)
+        vcd.close()
+        text = buf.getvalue()
+        # Counter pattern 0,1,2,3,0... -> several change records.
+        assert "#1" in text
+        assert "b00000001" in text
+        assert "b00000010" in text
+
+    def test_only_changes_emitted(self):
+        sim = Simulator()
+        w = sim.wire("const", default=7)
+        buf = io.StringIO()
+        vcd = VcdWriter(buf, sim, wires=[w], width=8)
+        sim.add_watcher(vcd.sample)
+        sim.run(10)
+        vcd.close()
+        body = buf.getvalue().split("$enddefinitions $end")[1]
+        # One initial record plus the closing timestamp, nothing else.
+        assert body.count("b00000111") == 1
+
+    def test_close_is_idempotent(self):
+        sim, vcd, buf = self.build()
+        sim.run(2)
+        vcd.close()
+        size = len(buf.getvalue())
+        vcd.close()
+        vcd.sample(99)  # ignored after close
+        assert len(buf.getvalue()) == size
+
+    def test_needs_wires(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            VcdWriter(io.StringIO(), sim, wires=[])
