@@ -1,0 +1,20 @@
+# Convenience targets; everything also runs as plain commands.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-smoke figures
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Full figure regeneration (pytest-benchmark over benchmarks/).
+figures:
+	PYTHONPATH=src $(PYTHON) -m repro figures
+
+bench: figures
+
+# One tiny point of every bench family through the experiment runner,
+# under a wall-clock budget -- the CI pulse-check for the measurement
+# stack (see benchmarks/smoke.py).
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py

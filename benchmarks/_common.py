@@ -11,9 +11,21 @@ from __future__ import annotations
 import os
 from typing import Iterable
 
+from repro.flow.runner import ExperimentRunner
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 FLIT_WIDTHS = (16, 32, 64, 128)
+
+
+def get_runner() -> ExperimentRunner:
+    """The experiment runner configured for this benchmark session.
+
+    Sequential and uncached by default; ``python -m repro figures
+    --jobs N --cache DIR`` (or the REPRO_JOBS / REPRO_CACHE environment
+    variables directly) turn on parallelism and disk memoization.
+    """
+    return ExperimentRunner.from_env()
 
 
 def emit(figure: str, lines: Iterable[str]) -> str:

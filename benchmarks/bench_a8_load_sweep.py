@@ -13,27 +13,27 @@ marks saturation); the mesh's plateau sits above the ring's (more
 bisection links for the same cores).
 """
 
-from _common import emit
+from _common import emit, get_runner
 
-from repro.network.experiments import load_sweep, render_sweep, saturation_rate
-from repro.network.noc import Noc
-from repro.network.topology import attach_round_robin, mesh, ring
+from repro.network.experiments import (
+    TopologyNocBuilder,
+    load_sweep,
+    render_sweep,
+    saturation_rate,
+)
+from repro.network.topology import mesh, ring
 
 RATES = (0.01, 0.03, 0.06, 0.1, 0.15, 0.2, 0.3)
 
 
-def builder(factory, *args):
-    def build():
-        topo = factory(*args)
-        attach_round_robin(topo, 4, 4)
-        return Noc(topo)
-
-    return build
-
-
 def sweep_rows():
-    mesh_pts = load_sweep(builder(mesh, 3, 3), RATES, seed=3)
-    ring_pts = load_sweep(builder(ring, 4), RATES, seed=3)
+    runner = get_runner()
+    mesh_pts = load_sweep(
+        TopologyNocBuilder(mesh, (3, 3)), RATES, seed=3, runner=runner
+    )
+    ring_pts = load_sweep(
+        TopologyNocBuilder(ring, (4,)), RATES, seed=3, runner=runner
+    )
     rows = [render_sweep(mesh_pts, "A8a: 3x3 mesh, 4 CPUs + 4 memories")]
     rows.append("")
     rows.append(render_sweep(ring_pts, "A8b: ring-4, same cores"))

@@ -13,7 +13,7 @@ this contention-free estimate (they cost area and buy nothing the
 estimator can see -- the A1 ablation shows what they do buy).
 """
 
-from _common import emit
+from _common import emit, get_runner
 
 from repro.flow import demo_multimedia_soc
 from repro.flow.dse import explore_design_space, pareto_frontier, render_space
@@ -29,6 +29,7 @@ def dse_rows():
         buffer_depths=(4, 6),
         seed=2,
         anneal_iterations=400,
+        runner=get_runner(),
     )
     frontier = pareto_frontier(points)
     rows = [render_space(points, frontier, "A9: multimedia SoC design space")]

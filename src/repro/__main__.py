@@ -6,6 +6,11 @@ Usage::
     python -m repro demo              # run the quickstart network
     python -m repro mesh-case-study   # the paper's 2.6 mm2 headline
     python -m repro figures           # regenerate every paper figure
+
+``figures`` accepts ``--jobs N`` (run sweep points on N worker
+processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
+config hash -- see docs/PERFORMANCE.md).  Both default off, preserving
+the sequential uncached behaviour.
 """
 
 from __future__ import annotations
@@ -67,26 +72,54 @@ def _mesh_case_study() -> int:
     return 0
 
 
-def _figures() -> int:
+def _figures(jobs: int = 1, cache: "str | None" = None) -> int:
+    import os
+
     import pytest
 
+    # The benchmarks run under pytest, so the runner configuration
+    # travels via the environment (ExperimentRunner.from_env reads it).
+    if jobs > 1:
+        os.environ["REPRO_JOBS"] = str(jobs)
+    if cache:
+        os.environ["REPRO_CACHE"] = cache
     return pytest.main(["benchmarks/", "--benchmark-only", "-q"])
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument(
         "command",
         choices=["info", "demo", "mesh-case-study", "figures"],
         nargs="?",
         default="info",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="figures: fan sweep points over N worker processes "
+        "(default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="figures: memoize sweep results in DIR keyed by config "
+        "hash (default: no cache)",
+    )
     args = parser.parse_args(argv)
+    if args.command == "figures":
+        return _figures(jobs=args.jobs, cache=args.cache)
     return {
         "info": _info,
         "demo": _demo,
         "mesh-case-study": _mesh_case_study,
-        "figures": _figures,
     }[args.command]()
 
 

@@ -70,6 +70,11 @@ class CreditSender:
         return not self._outbox and self._credits == self.capacity
 
     @property
+    def quiescent(self) -> bool:
+        """True when :meth:`on_cycle` is a no-op absent reverse traffic."""
+        return not self._outbox
+
+    @property
     def in_flight(self) -> int:
         return self.capacity - self._credits
 

@@ -102,6 +102,17 @@ class GoBackNSender:
         return not self._buffer
 
     @property
+    def quiescent(self) -> bool:
+        """True when :meth:`on_cycle` is a no-op absent reverse traffic.
+
+        Weaker than :attr:`idle`: a window-full sender waiting on ACKs
+        has flits in flight but nothing left to transmit, so its next
+        state change can only come from the reverse wire -- which the
+        owner lists in its fast-path ``wake_inputs``.
+        """
+        return self._send_ptr >= len(self._buffer)
+
+    @property
     def in_flight(self) -> int:
         return len(self._buffer)
 

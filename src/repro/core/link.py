@@ -94,6 +94,15 @@ class Link(Component):
             return flit.corrupt()
         return flit
 
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        return (self.up.forward, self.down.backward)
+
+    def is_quiescent(self) -> bool:
+        # A link is pure shift registers: with both pipes empty and both
+        # input wires idle, a tick only shifts bubbles.
+        return all(f is None for f in self._fwd) and all(a is None for a in self._bwd)
+
     def tick(self, cycle: int) -> None:
         # Forward path: sample the upstream wire, shift the pipe.
         incoming = self._inject(self.up.peek_flit())

@@ -89,6 +89,11 @@ class _BackEndTx:
     def idle(self) -> bool:
         return not self._flits and self.sender.idle
 
+    @property
+    def quiescent(self) -> bool:
+        """No flit left to move absent reverse-channel traffic."""
+        return not self._flits and self.sender.quiescent
+
 
 class InitiatorNI(Component):
     """NI attached to an OCP master core (CPU, DSP, DMA...).
@@ -179,6 +184,29 @@ class InitiatorNI(Component):
             and not self._resp_queue
             and not self._reorder
             and not self.depacketizer.busy
+        )
+
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        if self._credit_mode:
+            # Credit senders must transmit without reverse traffic (the
+            # initial credit allowance), so credit NIs stay always-on.
+            return None
+        return (
+            self.ocp.request,
+            self.ocp.response_accept,
+            self.rx.channel.forward,
+            self.tx.sender.channel.backward,
+        )
+
+    def is_quiescent(self) -> bool:
+        # Outstanding transactions and half-reassembled packets wait on
+        # the response wire; only locally-pending work forces a tick.
+        return (
+            self.tx.quiescent
+            and not self._resp_queue
+            and not self._sideband_queue
+            and not self._reorder
         )
 
     # -- request path ------------------------------------------------------
@@ -381,6 +409,23 @@ class TargetNI(Component):
             and self._current is None
             and not self.depacketizer.busy
         )
+
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        if self._credit_mode:
+            return None
+        return (
+            self.rx.channel.forward,
+            self.tx.sender.channel.backward,
+            self.ocp.request_accept,
+            self.ocp.response,
+            self.ocp.sideband,
+        )
+
+    def is_quiescent(self) -> bool:
+        # ``_issued`` entries wait on the slave's response wire; a
+        # request being driven (``_current``) must re-drive every cycle.
+        return self.tx.quiescent and self._current is None and not self._req_queue
 
     def _accept_req_flit(self, _flit: Flit) -> bool:
         return len(self._req_queue) < self.config.max_outstanding

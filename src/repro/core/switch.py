@@ -148,6 +148,25 @@ class Switch(Component):
         self.flits_routed = 0
         self.allocation_conflicts = 0
 
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        wires = [r.channel.forward for r in self.receivers]
+        wires.extend(o.sender.channel.backward for o in self.outputs)
+        return wires
+
+    def is_quiescent(self) -> bool:
+        # With every input wire idle, a tick moves nothing: all queues
+        # and delay pipes empty, every sender out of work.  (Plain loops
+        # with direct field access: this runs once per awake cycle.)
+        for o in self.outputs:
+            sender = o.sender
+            if not o.queue.is_empty or sender._send_ptr < len(sender._buffer):
+                return False
+            for f in o.delay:
+                if f is not None:
+                    return False
+        return True
+
     # -- per-cycle behaviour ----------------------------------------------
     def tick(self, cycle: int) -> None:
         self._output_stage(cycle)
@@ -156,6 +175,16 @@ class Switch(Component):
     def _output_stage(self, cycle: int) -> None:
         """Queue head -> retransmission buffer -> wire; shift delay pipes."""
         for port in self.outputs:
+            sender = port.sender
+            if (
+                port.queue.is_empty
+                and not port.delay
+                and sender._send_ptr >= len(sender._buffer)
+                and sender.channel.backward.value is None
+            ):
+                # Nothing queued, nothing to (re)transmit, no ACK to
+                # consume: the whole port is a no-op this cycle.
+                continue
             # Queue head moves to the wire first, then one delay-pipe
             # slot matures into the queue -- so each extra stage really
             # costs one cycle.
@@ -187,6 +216,17 @@ class Switch(Component):
 
     def _input_stage(self, cycle: int) -> None:
         """Route, allocate, and move winning flits into output queues."""
+        # Every input wire idle (the common case on a lightly loaded
+        # switch that is only awake to shepherd ACKs): nothing to
+        # route, allocate, poll or NACK -- just keep delay pipes full.
+        for r in self.receivers:
+            if r.channel.forward.value is not None:
+                break
+        else:
+            if self.config.pipeline_stages > 2:
+                for port in self.outputs:
+                    port.delay.append(None)
+            return
         # Phase 1: candidate flit per input (clean + in sequence only).
         candidates: List[Optional[Flit]] = [r.peek() for r in self.receivers]
         requested: List[Optional[int]] = [None] * self.config.n_inputs

@@ -13,7 +13,9 @@ estimations.  This package implements that front end:
 * :mod:`~repro.flow.floorplan` -- grid floorplanning and wire-length /
   link-pipelining estimation;
 * :mod:`~repro.flow.selection` -- topology selection driven by the
-  synthesis models (the paper's "power of abstraction" loop).
+  synthesis models (the paper's "power of abstraction" loop);
+* :mod:`~repro.flow.runner` -- parallel, disk-cached execution of
+  independent experiment points (see ``docs/PERFORMANCE.md``).
 """
 
 from repro.flow.bandwidth import LinkLoad, check_feasibility, link_loads
@@ -25,6 +27,7 @@ from repro.flow.mapping import (
     greedy_mapping,
     mapping_cost,
 )
+from repro.flow.runner import ExperimentRunner, PointReport, stable_repr
 from repro.flow.selection import CandidateResult, select_topology
 from repro.flow.taskgraph import (
     CoreGraph,
@@ -45,7 +48,10 @@ __all__ = [
     "link_loads",
     "CoreGraph",
     "CoreSpec",
+    "ExperimentRunner",
     "Floorplan",
+    "PointReport",
+    "stable_repr",
     "TaskGraph",
     "anneal_mapping",
     "apply_mapping",

@@ -62,6 +62,39 @@ class DesignPoint:
         )
 
 
+def _evaluate_design_point(point: tuple) -> DesignPoint:
+    """Evaluate one (core_graph, fabric, width, depth, knobs) combo.
+
+    Module-level so an :class:`repro.flow.runner.ExperimentRunner` can
+    pickle it into worker processes and hash it for the result cache.
+    Deep-copies the fabric because mapping attaches NIs to it.
+    """
+    core_graph, fabric, width, depth, target_freq_mhz, max_radix, seed, anneal_iterations = point
+    cfg = NocBuildConfig(
+        params=NocParameters(flit_width=width),
+        buffer_depth=depth,
+    )
+    result: CandidateResult = evaluate_candidate(
+        core_graph,
+        copy.deepcopy(fabric),
+        config=cfg,
+        target_freq_mhz=target_freq_mhz,
+        max_radix=max_radix,
+        anneal_iterations=anneal_iterations,
+        seed=seed,
+    )
+    return DesignPoint(
+        topology_name=fabric.name,
+        flit_width=width,
+        buffer_depth=depth,
+        latency_ns=result.mean_latency_ns,
+        area_mm2=result.area_mm2,
+        power_mw=result.power_mw,
+        freq_mhz=result.freq_mhz,
+        feasible=result.feasible,
+    )
+
+
 def explore_design_space(
     core_graph: CoreGraph,
     candidates: Sequence[Topology],
@@ -71,40 +104,26 @@ def explore_design_space(
     max_radix: int = 8,
     seed: int = 0,
     anneal_iterations: int = 600,
+    runner=None,
 ) -> List[DesignPoint]:
-    """Evaluate the full cross product; returns every point."""
+    """Evaluate the full cross product; returns every point.
+
+    Each point is independent, so an optional ``runner``
+    (:class:`repro.flow.runner.ExperimentRunner`) parallelizes and
+    caches the sweep; both Topology and CoreGraph expose the
+    ``cache_token()`` the cache keys need.
+    """
     if not candidates:
         raise ValueError("need at least one candidate topology")
-    points: List[DesignPoint] = []
-    for fabric in candidates:
-        for width in flit_widths:
-            for depth in buffer_depths:
-                cfg = NocBuildConfig(
-                    params=NocParameters(flit_width=width),
-                    buffer_depth=depth,
-                )
-                result: CandidateResult = evaluate_candidate(
-                    core_graph,
-                    copy.deepcopy(fabric),
-                    config=cfg,
-                    target_freq_mhz=target_freq_mhz,
-                    max_radix=max_radix,
-                    anneal_iterations=anneal_iterations,
-                    seed=seed,
-                )
-                points.append(
-                    DesignPoint(
-                        topology_name=fabric.name,
-                        flit_width=width,
-                        buffer_depth=depth,
-                        latency_ns=result.mean_latency_ns,
-                        area_mm2=result.area_mm2,
-                        power_mw=result.power_mw,
-                        freq_mhz=result.freq_mhz,
-                        feasible=result.feasible,
-                    )
-                )
-    return points
+    combos = [
+        (core_graph, fabric, width, depth, target_freq_mhz, max_radix, seed, anneal_iterations)
+        for fabric in candidates
+        for width in flit_widths
+        for depth in buffer_depths
+    ]
+    if runner is None:
+        return [_evaluate_design_point(p) for p in combos]
+    return runner.map(_evaluate_design_point, combos, label="dse")
 
 
 def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:

@@ -1,0 +1,249 @@
+"""Parallel, cached execution of independent experiment points.
+
+Every sweep in the benchmarks decomposes into independent "build a NoC,
+run it, summarise" points.  :class:`ExperimentRunner` executes a batch
+of such points
+
+* **in parallel** across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`) when ``jobs > 1``,
+* **memoized on disk** when a ``cache_dir`` is configured: each point's
+  result is pickled under a sha256 key derived from the *identity* of
+  the work (function qualname + arguments + salt), so re-generating
+  figures after an unrelated edit costs nothing,
+* with a per-point wall-clock report either way.
+
+The cache key is built by :func:`stable_repr`, which canonicalises
+dataclasses, enums, dicts/sets (sorted), callables (by qualname) and
+objects exposing a ``cache_token()`` method.  Invalidation is by
+construction: change any argument -- or bump
+:data:`ExperimentRunner.salt` / the library's :data:`CACHE_VERSION` --
+and the key changes.  See ``docs/PERFORMANCE.md`` for the rules and for
+what is deliberately *not* hashed (code bodies: delete the cache
+directory after editing measurement code).
+
+Both knobs default off (``jobs=1``, no cache), so existing sequential
+behaviour is unchanged unless a caller -- or ``python -m repro figures
+--jobs N --cache DIR`` via :meth:`ExperimentRunner.from_env` -- opts in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+#: Bumped when the library changes in ways that invalidate cached
+#: results wholesale (e.g. measurement-semantics fixes).
+CACHE_VERSION = 1
+
+
+def stable_repr(obj: Any) -> str:
+    """A deterministic, content-based representation for cache keys.
+
+    Unlike ``repr``, never leaks memory addresses and orders unordered
+    containers.  Objects may opt in with a ``cache_token()`` method
+    returning any stable_repr-able value.  Unknown objects fall back to
+    their class qualname (address masked) -- conservative, but two
+    *different* unknown objects then collide, so sweep inputs should
+    implement ``cache_token()`` (Topology and CoreGraph do).
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips floats exactly
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ", ".join(
+            f"{f.name}={stable_repr(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({fields})"
+    if isinstance(obj, (list, tuple)):
+        inner = ", ".join(stable_repr(x) for x in obj)
+        return f"[{inner}]" if isinstance(obj, list) else f"({inner})"
+    if isinstance(obj, dict):
+        items = sorted((stable_repr(k), stable_repr(v)) for k, v in obj.items())
+        return "{" + ", ".join(f"{k}: {v}" for k, v in items) + "}"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ", ".join(sorted(stable_repr(x) for x in obj)) + "}"
+    if isinstance(obj, functools.partial):
+        return (
+            f"partial({stable_repr(obj.func)}, args={stable_repr(obj.args)}, "
+            f"kwargs={stable_repr(obj.keywords)})"
+        )
+    token = getattr(obj, "cache_token", None)
+    if callable(token):
+        return stable_repr(token())
+    if callable(obj):
+        mod = getattr(obj, "__module__", "?")
+        qual = getattr(obj, "__qualname__", repr(type(obj).__qualname__))
+        return f"callable({mod}.{qual})"
+    # Last resort: type identity only.  Good enough for singletons,
+    # wrong for value-carrying objects -- hence cache_token().
+    return f"opaque({type(obj).__module__}.{type(obj).__qualname__})"
+
+
+def _timed_call(fn: Callable[[Any], Any], point: Any) -> "tuple[float, Any]":
+    """Run one point in a worker, returning (seconds, result).
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor` workers.
+    """
+    t0 = time.perf_counter()
+    result = fn(point)
+    return time.perf_counter() - t0, result
+
+
+@dataclass
+class PointReport:
+    """Wall-clock accounting for one executed (or cache-served) point."""
+
+    label: str
+    key: str
+    seconds: float
+    cached: bool
+
+
+@dataclass
+class ExperimentRunner:
+    """Fan independent experiment points out; memoize their results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs inline in this
+        process, which keeps everything debuggable and imposes no
+        picklability requirement.
+    cache_dir:
+        Directory for pickled results; ``None`` (default) disables
+        memoization.  Created on first use.
+    salt:
+        Extra string mixed into every cache key -- a manual
+        invalidation lever for callers.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    salt: str = ""
+    reports: List[PointReport] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @classmethod
+    def from_env(cls) -> "ExperimentRunner":
+        """Build from ``REPRO_JOBS`` / ``REPRO_CACHE`` (the channel
+        ``python -m repro figures --jobs N --cache DIR`` uses to reach
+        runners inside pytest-collected benchmarks)."""
+        raw = os.environ.get("REPRO_JOBS", "1") or "1"
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {raw!r}"
+            ) from None
+        cache = os.environ.get("REPRO_CACHE") or None
+        return cls(jobs=max(jobs, 1), cache_dir=cache)
+
+    # -- cache plumbing ---------------------------------------------------
+    def _key(self, fn: Callable, point: Any) -> str:
+        ident = (
+            f"v{CACHE_VERSION}|{self.salt}|{stable_repr(fn)}|{stable_repr(point)}"
+        )
+        return hashlib.sha256(ident.encode()).hexdigest()
+
+    def _cache_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _cache_load(self, key: str) -> "tuple[bool, Any]":
+        if self.cache_dir is None:
+            return False, None
+        try:
+            with open(self._cache_path(key), "rb") as f:
+                return True, pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError):
+            return False, None
+
+    def _cache_store(self, key: str, result: Any) -> None:
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic publish: concurrent runners may race on the same key.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(result, f)
+            os.replace(tmp, self._cache_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- execution --------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], points: Sequence[Any], label: str = "point") -> List[Any]:
+        """``[fn(p) for p in points]`` with caching and parallelism.
+
+        Results come back in input order.  ``fn`` must be a module-level
+        callable (or :func:`functools.partial` over one) when
+        ``jobs > 1`` so worker processes can unpickle it; its arguments
+        should be stable_repr-hashable when caching is on.
+        """
+        keys = [self._key(fn, p) for p in points]
+        results: List[Any] = [None] * len(points)
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            hit, value = self._cache_load(key)
+            if hit:
+                self.cache_hits += 1
+                results[i] = value
+                self.reports.append(
+                    PointReport(f"{label}[{i}]", key, 0.0, cached=True)
+                )
+            else:
+                self.cache_misses += 1
+                pending.append(i)
+
+        if pending and self.jobs > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                futures = {i: pool.submit(_timed_call, fn, points[i]) for i in pending}
+                for i in pending:
+                    seconds, results[i] = futures[i].result()
+                    self.reports.append(
+                        PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
+                    )
+                    self._cache_store(keys[i], results[i])
+        else:
+            for i in pending:
+                t0 = time.perf_counter()
+                results[i] = fn(points[i])
+                self.reports.append(
+                    PointReport(
+                        f"{label}[{i}]", keys[i],
+                        time.perf_counter() - t0, cached=False,
+                    )
+                )
+                self._cache_store(keys[i], results[i])
+        return results
+
+    # -- reporting --------------------------------------------------------
+    def render_report(self, title: str = "experiment runner") -> str:
+        """Per-point wall-clock table plus hit/miss totals."""
+        lines = [
+            f"{title}: jobs={self.jobs} "
+            f"cache={'off' if self.cache_dir is None else self.cache_dir} "
+            f"hits={self.cache_hits} misses={self.cache_misses}",
+        ]
+        for r in self.reports:
+            status = "cached" if r.cached else f"{r.seconds:8.3f}s"
+            lines.append(f"  {r.label:<28} {status:>10}  {r.key[:12]}")
+        return "\n".join(lines)

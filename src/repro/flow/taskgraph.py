@@ -123,6 +123,16 @@ class CoreGraph:
     def demands(self) -> List[Tuple[str, str, float]]:
         return [(u, v, d["rate"]) for u, v, d in self.graph.edges(data=True)]
 
+    def cache_token(self) -> tuple:
+        """Stable content identity for experiment-cache keys (see
+        :func:`repro.flow.runner.stable_repr`)."""
+        return (
+            "CoreGraph",
+            self.name,
+            tuple(sorted(self.cores.items())),
+            tuple(sorted(self.demands())),
+        )
+
     def demand_between(self, a: str, b: str) -> float:
         """Total demand in both directions between two cores."""
         total = 0.0

@@ -80,6 +80,16 @@ class OcpTrafficMaster(Component):
         """Nothing in flight right now (pattern may still inject later)."""
         return self._pending is None and not self._in_flight
 
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        return (self.port.request_accept, self.port.response, self.port.sideband)
+
+    def is_quiescent(self) -> bool:
+        # Only a *finished* master may sleep: while transactions remain,
+        # the pattern's per-cycle RNG draw must happen every cycle so
+        # fast-path and full-tick runs stay stream-for-stream identical.
+        return self.done
+
     def _build_txn(self, template, cycle: int) -> BurstTransaction:
         base = self.address_map.base_of(template.target)
         cmd = OcpCmd.READ if template.is_read else OcpCmd.WRITE
@@ -170,6 +180,20 @@ class OcpMemorySlave(Component):
         self._response = None
         self.reads_served = 0
         self.writes_served = 0
+
+    # -- fast-path quiescence contract ------------------------------------
+    def wake_inputs(self):
+        return (self.port.request, self.port.response_accept)
+
+    def is_quiescent(self) -> bool:
+        # A transaction in service has a cycle-based timer and a held
+        # response must be re-driven, so both pin the slave awake, as
+        # does any not-yet-fired scheduled interrupt.
+        return (
+            self._current is None
+            and self._response is None
+            and self._irq_pos >= len(self.interrupt_schedule)
+        )
 
     def _execute(self, txn: BurstTransaction) -> OcpResponse:
         if txn.is_write:

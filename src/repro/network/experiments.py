@@ -5,15 +5,28 @@ open-loop traffic at increasing injection rates, discard a warmup
 window, measure over a steady window, and watch latency diverge at the
 saturation point.  This module packages that methodology so benches and
 studies don't each reinvent (and mis-measure) it.
+
+Sweeps decompose into independent per-rate measurements
+(:func:`measure_load_point`), so :func:`load_sweep` accepts an optional
+:class:`repro.flow.runner.ExperimentRunner` that fans the points out
+over worker processes and memoizes each on disk.  Everything passed to
+the runner must be picklable and hashable; :class:`TopologyNocBuilder`
+is the ready-made builder that satisfies both.  :func:`verify_fast_path`
+is the cross-check mode for the kernel's activity-tracked scheduler: it
+runs the same workload with ``fast_path`` on and off and insists on
+byte-identical statistics digests (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.network.noc import Noc
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin
 from repro.network.traffic import UniformRandomTraffic
+from repro.sim.kernel import SimulationError
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,83 @@ class LoadPoint:
         return self.mean_latency > 4 * max(self.p95_latency / 8.0, 1.0)
 
 
+@dataclass(frozen=True)
+class TopologyNocBuilder:
+    """A picklable, hashable "build me a fresh core-less NoC" callable.
+
+    ``load_sweep``'s inline loop accepts any zero-argument callable, but
+    dispatching sweep points to worker processes (and keying the disk
+    cache) needs a builder that pickles and hashes stably -- closures do
+    neither.  This builder names a module-level topology factory plus
+    its arguments instead of capturing objects.
+    """
+
+    factory: Callable  # e.g. repro.network.topology.mesh
+    args: Tuple = ()
+    n_initiators: int = 4
+    n_targets: int = 4
+    config: Optional[NocBuildConfig] = None
+
+    def __call__(self) -> Noc:
+        topo = self.factory(*self.args)
+        attach_round_robin(topo, self.n_initiators, self.n_targets)
+        return Noc(topo, config=self.config)
+
+
+def measure_load_point(
+    build_noc: Callable[[], "Noc"],
+    rate: float,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    max_outstanding: int = 4,
+    seed: int = 0,
+) -> LoadPoint:
+    """Measure one offered-load point on a freshly built NoC.
+
+    Module-level (not a closure) so an
+    :class:`~repro.flow.runner.ExperimentRunner` can ship it to worker
+    processes and hash its identity for the result cache.
+    """
+    if warmup_cycles < 0 or measure_cycles <= 0:
+        raise ValueError("invalid warmup/measurement window")
+    noc = build_noc()
+    targets = noc.topology.targets
+    initiators = noc.topology.initiators
+    if not initiators or not targets:
+        raise ValueError("the built NoC must have initiators and targets")
+    noc.populate(
+        {
+            c: UniformRandomTraffic(targets, rate, seed=seed + 17 * i)
+            for i, c in enumerate(initiators)
+        },
+        max_outstanding=max_outstanding,
+    )
+    noc.run(warmup_cycles)
+    # Snapshot, measure, diff: only steady-state samples count.
+    warm_counts = {c: len(noc.masters[c].latency.samples) for c in initiators}
+    noc.run(measure_cycles)
+    samples: List[int] = []
+    completed = 0
+    for c in initiators:
+        s = noc.masters[c].latency.samples[warm_counts[c]:]
+        samples.extend(s)
+        completed += len(s)
+    if samples:
+        samples.sort()
+        mean = sum(samples) / len(samples)
+        p95 = samples[min(len(samples) - 1, int(0.95 * len(samples)))]
+    else:
+        mean = float("inf")
+        p95 = float("inf")
+    return LoadPoint(
+        offered_rate=rate,
+        accepted_rate=completed / measure_cycles,
+        mean_latency=mean,
+        p95_latency=float(p95),
+        completed=completed,
+    )
+
+
 def load_sweep(
     build_noc: Callable[[], "Noc"],
     rates: Sequence[float],
@@ -40,6 +130,7 @@ def load_sweep(
     measure_cycles: int = 2000,
     max_outstanding: int = 4,
     seed: int = 0,
+    runner=None,
 ) -> List[LoadPoint]:
     """Latency/throughput at each offered load.
 
@@ -47,16 +138,49 @@ def load_sweep(
     no masters/slaves attached); the sweep attaches uniform random
     traffic at each rate, warms up, then measures only transactions
     issued inside the measurement window.
+
+    With a ``runner`` (an :class:`repro.flow.runner.ExperimentRunner`),
+    the per-rate measurements run through it -- possibly in parallel,
+    possibly from cache -- in which case ``build_noc`` must be picklable
+    (use :class:`TopologyNocBuilder`, not a lambda).
     """
     if warmup_cycles < 0 or measure_cycles <= 0:
         raise ValueError("invalid warmup/measurement window")
-    points = []
-    for rate in rates:
+    fn = functools.partial(
+        measure_load_point,
+        build_noc,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        max_outstanding=max_outstanding,
+        seed=seed,
+    )
+    if runner is None:
+        return [fn(rate) for rate in rates]
+    return runner.map(fn, rates, label="load_sweep")
+
+
+def verify_fast_path(
+    build_noc: Callable[[], "Noc"],
+    cycles: int = 2000,
+    rate: float = 0.2,
+    max_outstanding: int = 4,
+    seed: int = 0,
+) -> str:
+    """Cross-check the kernel's fast path against the full-tick loop.
+
+    Builds the same core-less NoC twice, attaches identical traffic,
+    forces the second instance onto the classical tick-everything
+    scheduler, runs both for ``cycles``, and compares their
+    :meth:`~repro.network.noc.Noc.stats_digest`.  Raises
+    :class:`~repro.sim.kernel.SimulationError` on any divergence and
+    returns the (common) digest otherwise.
+    """
+    digests = []
+    for fast in (True, False):
         noc = build_noc()
+        noc.sim.set_fast_path(fast)
         targets = noc.topology.targets
         initiators = noc.topology.initiators
-        if not initiators or not targets:
-            raise ValueError("the built NoC must have initiators and targets")
         noc.populate(
             {
                 c: UniformRandomTraffic(targets, rate, seed=seed + 17 * i)
@@ -64,33 +188,14 @@ def load_sweep(
             },
             max_outstanding=max_outstanding,
         )
-        noc.run(warmup_cycles)
-        # Snapshot, measure, diff: only steady-state samples count.
-        warm_counts = {c: len(noc.masters[c].latency.samples) for c in initiators}
-        noc.run(measure_cycles)
-        samples: List[int] = []
-        completed = 0
-        for c in initiators:
-            s = noc.masters[c].latency.samples[warm_counts[c]:]
-            samples.extend(s)
-            completed += len(s)
-        if samples:
-            samples.sort()
-            mean = sum(samples) / len(samples)
-            p95 = samples[min(len(samples) - 1, int(0.95 * len(samples)))]
-        else:
-            mean = float("inf")
-            p95 = float("inf")
-        points.append(
-            LoadPoint(
-                offered_rate=rate,
-                accepted_rate=completed / measure_cycles,
-                mean_latency=mean,
-                p95_latency=float(p95),
-                completed=completed,
-            )
+        noc.run(cycles)
+        digests.append(noc.stats_digest())
+    if digests[0] != digests[1]:
+        raise SimulationError(
+            f"fast-path divergence after {cycles} cycles: "
+            f"fast={digests[0][:16]}... full={digests[1][:16]}..."
         )
-    return points
+    return digests[0]
 
 
 def saturation_rate(points: Sequence[LoadPoint], knee_factor: float = 3.0) -> Optional[float]:

@@ -75,6 +75,11 @@ class NocBuildConfig:
     link_overrides: "Dict[frozenset, LinkConfig]" = field(default_factory=dict)
     routing_policy: Optional[str] = None  # None = topology default
     seed: int = 1
+    #: Activity-tracked scheduling (see ``docs/PERFORMANCE.md``).  Set
+    #: False to force the classical tick-everything kernel loop; results
+    #: are cycle-identical either way (checked by
+    #: :func:`repro.network.experiments.verify_fast_path`).
+    fast_path: bool = True
 
     def link_for(self, a: str, b: str) -> LinkConfig:
         """The link configuration between two elements."""
@@ -93,7 +98,7 @@ class Noc:
         topology.validate()
         self.topology = topology
         self.config = config or NocBuildConfig()
-        self.sim = Simulator(tracer)
+        self.sim = Simulator(tracer, fast_path=self.config.fast_path)
         params = self.config.params
 
         all_nis = topology.initiators + topology.targets
@@ -466,6 +471,58 @@ class Noc:
 
     def total_flits_carried(self) -> int:
         return sum(link.flits_carried for link in self.links)
+
+    def stats_digest(self) -> str:
+        """sha256 over every observable statistic, for equivalence checks.
+
+        Two runs of identically-built NoCs must produce the same digest
+        regardless of scheduling mode (``fast_path`` True/False) -- this
+        is what the differential tests and
+        :func:`repro.network.experiments.verify_fast_path` assert.
+        Transaction ids are deliberately excluded: they come from a
+        process-global counter and differ between runs in one process.
+        """
+        import hashlib
+
+        lines = [f"cycle={self.sim.cycle}"]
+        for name in sorted(self.masters):
+            m = self.masters[name]
+            lines.append(
+                f"master {name} issued={m.issued} completed={m.completed} "
+                f"latency={m.latency.samples!r} interrupts={len(m.interrupts)}"
+            )
+        for name in sorted(self.slaves):
+            s = self.slaves[name]
+            lines.append(
+                f"slave {name} reads={s.reads_served} writes={s.writes_served} "
+                f"mem={sorted(s.memory.items())!r}"
+            )
+        for name in sorted(self.initiator_nis):
+            ni = self.initiator_nis[name]
+            lines.append(
+                f"ini {name} issued={ni.transactions_issued} "
+                f"delivered={ni.responses_delivered} irqs={ni.interrupts_delivered} "
+                f"pkt={ni.packet_latency.samples!r}"
+            )
+        for name in sorted(self.target_nis):
+            ni = self.target_nis[name]
+            lines.append(
+                f"tgt {name} served={ni.requests_served} "
+                f"pkt={ni.packet_latency.samples!r}"
+            )
+        for name in sorted(self.switches):
+            sw = self.switches[name]
+            lines.append(
+                f"switch {name} routed={sw.flits_routed} "
+                f"conflicts={sw.allocation_conflicts}"
+            )
+        for link in sorted(self.links, key=lambda l: l.name):
+            lines.append(
+                f"link {link.name} carried={link.flits_carried} "
+                f"errors={link.errors_injected}"
+            )
+        lines.append(f"retransmissions={self.total_retransmissions()}")
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
     def describe(self) -> str:
         """One-screen structural and runtime summary."""

@@ -97,6 +97,24 @@ class CheckedTrafficMaster(OcpTrafficMaster):
                 f"txn {txn} addr {addr:#x} got {got:#x} want {want:#x}"
             )
 
+    def digest(self) -> str:
+        """sha256 over this master's full scoreboard state.
+
+        Canonical (sorted shadow, txn ids excluded -- they come from a
+        process-global counter) so two equivalent runs, e.g. fast-path
+        vs full-tick, produce byte-identical digests.
+        """
+        import hashlib
+
+        lines = [
+            f"issued={self.issued} completed={self.completed}",
+            f"reads_checked={self.reads_checked} words_checked={self.words_checked}",
+            f"shadow={sorted(self._shadow.items())!r}",
+            f"mismatches={sorted((a, g, w) for _txn, a, g, w in self.mismatches)!r}",
+            f"latency={self.latency.samples!r}",
+        ]
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
 
 def private_stripe_patterns(
     masters: Sequence[str],
@@ -177,3 +195,11 @@ def assert_all_clean(masters: Dict[str, CheckedTrafficMaster]) -> None:
     """Raise on the first master whose scoreboard saw corruption."""
     for master in masters.values():
         master.assert_clean()
+
+
+def scoreboard_digest(masters: Dict[str, CheckedTrafficMaster]) -> str:
+    """One sha256 over every checked master's scoreboard, sorted by name."""
+    import hashlib
+
+    lines = [f"{name} {masters[name].digest()}" for name in sorted(masters)]
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()

@@ -186,6 +186,22 @@ class Topology:
         """DOR when every switch has coordinates on a grid, else shortest."""
         return "dor" if self.coords and len(self.coords) == len(self._ports) else "shortest"
 
+    def cache_token(self) -> tuple:
+        """Stable structural identity for experiment-cache keys.
+
+        Captures everything that affects a simulation built from this
+        topology (names, port order, NI attachment, coordinates), so
+        :class:`repro.flow.runner.ExperimentRunner` can hash configs
+        containing topologies (see ``docs/PERFORMANCE.md``).
+        """
+        return (
+            "Topology",
+            self.name,
+            tuple((s, tuple(ports)) for s, ports in self._ports.items()),
+            tuple(sorted((n, a.is_initiator, a.switch) for n, a in self._nis.items())),
+            tuple(sorted(self.coords.items())),
+        )
+
     def __repr__(self) -> str:
         return (
             f"Topology({self.name!r}, switches={len(self._ports)}, "

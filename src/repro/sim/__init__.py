@@ -7,6 +7,11 @@ This double-buffered discipline makes component evaluation order
 irrelevant and maps one-to-one onto the pipelined, fully registered
 design style the paper advocates for synthesizability.
 
+The same discipline enables the kernel's activity-tracked *fast path*
+(on by default): components that declare their read wires and a
+quiescence predicate are only ticked on cycles where they can actually
+do work.  See :mod:`repro.sim.kernel` and ``docs/PERFORMANCE.md``.
+
 Public surface:
 
 * :class:`~repro.sim.kernel.Simulator` -- owns components and wires,

@@ -26,9 +26,15 @@ class Wire:
     ``drive`` before the kernel's update phase wins.  Reading is
     unrestricted.  Wires must be created through
     :meth:`repro.sim.kernel.Simulator.wire` so the kernel can flip them.
+
+    Kernel-owned fast-path state: ``readers`` lists the components the
+    scheduler must wake while this wire holds a non-default value, and
+    ``_hot``/``_queued`` implement change detection -- the first
+    ``drive`` of a cycle enqueues the wire on the kernel's hot list so
+    the latch phase touches only wires that can possibly change.
     """
 
-    __slots__ = ("name", "default", "_cur", "_nxt", "_driven")
+    __slots__ = ("name", "default", "_cur", "_nxt", "_driven", "_queued", "_hot", "readers")
 
     def __init__(self, name: str, default: Any = None) -> None:
         self.name = name
@@ -36,6 +42,9 @@ class Wire:
         self._cur: Any = default
         self._nxt: Any = default
         self._driven = False
+        self._queued = False
+        self._hot: "list | None" = None  # kernel hot list (None off-kernel)
+        self.readers: list = []  # sleepy components woken by this wire
 
     @property
     def value(self) -> Any:
@@ -46,6 +55,9 @@ class Wire:
         """Set the value that becomes visible next cycle."""
         self._nxt = value
         self._driven = True
+        if not self._queued and self._hot is not None:
+            self._queued = True
+            self._hot.append(self)
 
     def update(self) -> None:
         """Kernel hook: latch the driven value (or decay to default)."""

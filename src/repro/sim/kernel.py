@@ -4,22 +4,41 @@ A :class:`Simulator` owns a set of :class:`~repro.sim.component.Component`
 objects and the :class:`~repro.sim.channel.Wire` registers that connect
 them.  Each call to :meth:`Simulator.step` performs one clock cycle:
 
-1. every component's ``tick`` runs (order-independent, because wires are
-   double-buffered), then
-2. every wire latches its driven value.
+1. every *active* component's ``tick`` runs (order-independent, because
+   wires are double-buffered), then
+2. every *hot* wire latches its driven value (or decays to default), and
+   wires left holding a non-default value wake their readers for the
+   next cycle.
+
+By default the kernel runs this **activity-tracked fast path**: a
+component that implements the quiescence contract
+(:meth:`~repro.sim.component.Component.wake_inputs` +
+:meth:`~repro.sim.component.Component.is_quiescent`) is only ticked on
+cycles where it received new input on a watched wire, reported pending
+internal work after its last tick, or explicitly requested a wakeup.
+Components that do not implement the contract are ticked every cycle.
+Pass ``fast_path=False`` (or call :meth:`Simulator.set_fast_path`) to
+fall back to the classical tick-everything loop -- both produce
+cycle-identical results, which ``tests/test_fastpath.py`` and
+:func:`repro.network.experiments.verify_fast_path` check digest-for-digest.
 
 This mirrors a single-clock synchronous RTL design, which is exactly the
 discipline xpipes Lite imposes on its SystemC library so that synthesis
-and simulation views stay equivalent.
+and simulation views stay equivalent; the fast path merely skips ticks
+that the registered-wire discipline proves are no-ops.  See
+``docs/PERFORMANCE.md`` for the contract and measured speedups.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.channel import FlitChannel, Wire
 from repro.sim.component import Component
 from repro.sim.trace import NullTracer, Tracer
+
+_SCHED_KEY = operator.attrgetter("_sched_index")
 
 
 class SimulationError(RuntimeError):
@@ -33,9 +52,13 @@ class Simulator:
     ----------
     tracer:
         Optional event tracer; defaults to a no-op tracer.
+    fast_path:
+        Enable the activity-tracked scheduler (default).  ``False``
+        ticks every component and latches every wire each cycle -- the
+        correctness escape hatch; results are identical either way.
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None, fast_path: bool = True) -> None:
         self.cycle = 0
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._components: List[Component] = []
@@ -43,6 +66,15 @@ class Simulator:
         self._wires: List[Wire] = []
         self._wire_names: Dict[str, Wire] = {}
         self._watchers: List[Callable[[int], None]] = []
+        # Fast-path scheduler state.
+        self.fast_path = bool(fast_path)
+        self._always_active: List[Component] = []  # no quiescence contract
+        self._sleepy: List[Component] = []  # contract implementors
+        self._awake: Dict[Component, None] = {}  # sleepy components due a tick
+        self._hot_wires: List[Wire] = []  # wires needing latch attention
+        # Instrumentation: how much work the fast path actually skipped.
+        self.ticks_executed = 0
+        self.ticks_skipped = 0
 
     # -- construction ----------------------------------------------------
     def add(self, component: Component) -> Component:
@@ -50,8 +82,21 @@ class Simulator:
         if component.name in self._component_names:
             raise SimulationError(f"duplicate component name: {component.name!r}")
         component.bind(self)
+        component._sched_index = len(self._components)
         self._components.append(component)
         self._component_names[component.name] = component
+        wake = component.wake_inputs()
+        # Only kernel-owned wires participate in change detection; a
+        # component watching a foreign wire must stay always-active.
+        if wake is not None and all(w._hot is not None for w in wake):
+            component._sleepy = True
+            self._sleepy.append(component)
+            self._awake[component] = None
+            for w in wake:
+                w.readers.append(component)
+        else:
+            component._sleepy = False
+            self._always_active.append(component)
         return component
 
     def wire(self, name: str, default: Any = None) -> Wire:
@@ -59,6 +104,7 @@ class Simulator:
         if name in self._wire_names:
             raise SimulationError(f"duplicate wire name: {name!r}")
         w = Wire(name, default)
+        w._hot = self._hot_wires
         self._wires.append(w)
         self._wire_names[name] = w
         return w
@@ -86,22 +132,108 @@ class Simulator:
         """Register a callback invoked after every cycle (for probes)."""
         self._watchers.append(fn)
 
+    # -- fast-path control -----------------------------------------------
+    def wake(self, component: Component) -> None:
+        """Schedule a contract-implementing component for the next tick."""
+        if component._sleepy:
+            self._awake[component] = None
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Switch scheduling modes at a cycle boundary.
+
+        Turning the fast path on conservatively re-arms everything: all
+        sleepy components wake, and every wire currently holding (or
+        driving) a non-default value re-enters the hot list.
+        """
+        enabled = bool(enabled)
+        if enabled == self.fast_path:
+            return
+        self.fast_path = enabled
+        if enabled:
+            self._awake = dict.fromkeys(self._sleepy)
+            hot = self._hot_wires
+            for w in hot:
+                w._queued = False
+            del hot[:]
+            for w in self._wires:
+                if w._driven or w._cur is not w.default:
+                    w._queued = True
+                    hot.append(w)
+
     # -- execution -------------------------------------------------------
     def reset(self) -> None:
         """Reset time, all wires and all components."""
         self.cycle = 0
+        for w in self._hot_wires:
+            w._queued = False
+        del self._hot_wires[:]
         for w in self._wires:
             w.reset()
         for c in self._components:
             c.reset()
+        self._awake = dict.fromkeys(self._sleepy)
+        self.ticks_executed = 0
+        self.ticks_skipped = 0
 
     def step(self) -> None:
         """Advance exactly one clock cycle."""
+        if not self.fast_path:
+            self._step_full()
+            return
+        cyc = self.cycle
+        # Steal the awake set; request_wakeup calls during the ticks
+        # land in the fresh dict and carry over to the next cycle.
+        awake, self._awake = self._awake, {}
+        if awake:
+            run = self._always_active + list(awake)
+            run.sort(key=_SCHED_KEY)  # registration order, as the full loop
+        else:
+            run = self._always_active  # already in registration order
+        for c in run:
+            c.tick(cyc)
+        self.ticks_executed += len(run)
+        self.ticks_skipped += len(self._components) - len(run)
+        nxt = self._awake
+        for c in awake:
+            if not c.is_quiescent():
+                nxt[c] = None
+        # Latch phase: only wires that were driven this cycle or still
+        # held a non-default value can change.  A wire left non-default
+        # stays hot (it must decay next cycle) and wakes its readers.
+        hot = self._hot_wires
+        if hot:
+            keep = []
+            for w in hot:
+                if w._driven:
+                    w._cur = w._nxt
+                    w._driven = False
+                else:
+                    w._cur = w.default
+                w._nxt = w.default
+                if w._cur is not w.default:
+                    keep.append(w)
+                    for r in w.readers:
+                        nxt[r] = None
+                else:
+                    w._queued = False
+            hot[:] = keep
+        for fn in self._watchers:
+            fn(cyc)
+        self.cycle = cyc + 1
+
+    def _step_full(self) -> None:
+        """The classical loop: tick everything, latch everything."""
         cyc = self.cycle
         for c in self._components:
             c.tick(cyc)
         for w in self._wires:
             w.update()
+        hot = self._hot_wires
+        if hot:  # drives still enqueue; discard the bookkeeping
+            for w in hot:
+                w._queued = False
+            del hot[:]
+        self.ticks_executed += len(self._components)
         for fn in self._watchers:
             fn(cyc)
         self.cycle = cyc + 1
@@ -118,16 +250,22 @@ class Simulator:
     ) -> int:
         """Step until ``predicate()`` is true; returns cycles spent.
 
-        Raises :class:`SimulationError` if the predicate is still false
-        after ``max_cycles`` steps -- the standard guard against
-        deadlocked networks in tests.
+        Raises :class:`SimulationError` up front on a non-callable
+        predicate, and -- reporting the cycle it stopped at -- if the
+        predicate is still false after ``max_cycles`` steps, the
+        standard guard against deadlocked networks in tests.
         """
+        if not callable(predicate):
+            raise SimulationError(
+                f"run_until needs a callable predicate, got "
+                f"{type(predicate).__name__}: {predicate!r}"
+            )
         start = self.cycle
         while not predicate():
             if self.cycle - start >= max_cycles:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles "
-                    f"(started at cycle {start})"
+                    f"(started at cycle {start}, stopped at cycle {self.cycle})"
                 )
             self.step()
         return self.cycle - start

@@ -66,6 +66,32 @@ class TestDesignDoc:
             assert b in design, f"{b} missing from DESIGN.md's experiment index"
 
 
+class TestPerformanceDoc:
+    PATH = os.path.join(ROOT, "docs", "PERFORMANCE.md")
+
+    def test_exists_and_is_cross_linked(self):
+        assert os.path.exists(self.PATH)
+        for doc in ("README.md", "DESIGN.md", os.path.join("docs", "ARCHITECTURE.md")):
+            with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+                assert "PERFORMANCE.md" in f.read(), f"{doc} must link the guide"
+
+    def test_covers_the_contract(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        for term in (
+            "wake_inputs", "is_quiescent", "request_wakeup",
+            "verify_fast_path", "fast_path=False", "set_fast_path",
+            "cache_token", "CACHE_VERSION", "--jobs", "--cache",
+        ):
+            assert term in text, term
+
+    def test_every_python_block_runs(self):
+        blocks = extract_python_blocks(self.PATH)
+        assert len(blocks) >= 3, "the guide promises runnable snippets"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"PERFORMANCE-snippet-{i}", "exec"), {})
+
+
 class TestExperimentsDoc:
     def test_mentions_every_figure(self):
         with open(os.path.join(ROOT, "EXPERIMENTS.md"), encoding="utf-8") as f:

@@ -1,0 +1,185 @@
+"""ExperimentRunner: caching, parallelism, and stable cache keys."""
+
+import dataclasses
+import enum
+import functools
+
+import pytest
+
+from repro.flow.runner import CACHE_VERSION, ExperimentRunner, stable_repr
+from repro.network.topology import mesh
+
+
+def _square(x):
+    """Module-level so worker processes can unpickle it."""
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"point {x} exploded")
+
+
+class TestMap:
+    def test_sequential_matches_list_comprehension(self):
+        runner = ExperimentRunner()
+        assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert runner.cache_hits == 0 and runner.cache_misses == 3
+
+    def test_parallel_preserves_input_order(self):
+        runner = ExperimentRunner(jobs=2)
+        assert runner.map(_square, list(range(8))) == [x * x for x in range(8)]
+
+    def test_reports_one_entry_per_point(self):
+        runner = ExperimentRunner()
+        runner.map(_square, [5, 6], label="sq")
+        labels = [r.label for r in runner.reports]
+        assert labels == ["sq[0]", "sq[1]"]
+        assert all(not r.cached for r in runner.reports)
+        assert "sq[0]" in runner.render_report()
+
+    def test_worker_exception_propagates(self):
+        runner = ExperimentRunner(jobs=2)
+        with pytest.raises(ValueError, match="exploded"):
+            runner.map(_boom, [1])
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        first = runner.map(_square, [3, 4])
+        assert (runner.cache_hits, runner.cache_misses) == (0, 2)
+        second = runner.map(_square, [3, 4])
+        assert (runner.cache_hits, runner.cache_misses) == (2, 2)
+        assert first == second
+        assert [r.cached for r in runner.reports] == [False, False, True, True]
+
+    def test_cache_survives_runner_instances(self, tmp_path):
+        ExperimentRunner(cache_dir=str(tmp_path)).map(_square, [9])
+        fresh = ExperimentRunner(cache_dir=str(tmp_path))
+        assert fresh.map(_square, [9]) == [81]
+        assert fresh.cache_hits == 1
+
+    def test_different_args_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        runner.map(_square, [3])
+        runner.map(_square, [4])
+        assert runner.cache_hits == 0
+
+    def test_different_functions_do_not_collide(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        runner.map(_square, [3])
+        assert runner.map(abs, [3]) == [3]  # not 9 served from _square's entry
+        assert runner.cache_hits == 0
+
+    def test_salt_invalidates(self, tmp_path):
+        ExperimentRunner(cache_dir=str(tmp_path)).map(_square, [3])
+        salted = ExperimentRunner(cache_dir=str(tmp_path), salt="rev2")
+        salted.map(_square, [3])
+        assert salted.cache_misses == 1 and salted.cache_hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        runner.map(_square, [3])
+        for p in tmp_path.glob("*.pkl"):
+            p.write_bytes(b"not a pickle")
+        again = ExperimentRunner(cache_dir=str(tmp_path))
+        assert again.map(_square, [3]) == [9]
+        assert again.cache_misses == 1
+
+    def test_parallel_runs_populate_the_cache(self, tmp_path):
+        runner = ExperimentRunner(jobs=2, cache_dir=str(tmp_path))
+        runner.map(_square, [1, 2, 3])
+        sequential = ExperimentRunner(cache_dir=str(tmp_path))
+        assert sequential.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert sequential.cache_hits == 3
+
+
+class TestFromEnv:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        runner = ExperimentRunner.from_env()
+        assert runner.jobs == 1 and runner.cache_dir is None
+
+    def test_garbage_jobs_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            ExperimentRunner.from_env()
+
+    def test_reads_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        runner = ExperimentRunner.from_env()
+        assert runner.jobs == 4 and runner.cache_dir == str(tmp_path)
+
+
+class _Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass
+class _Cfg:
+    depth: int
+    label: str
+
+
+class _Token:
+    def __init__(self, value):
+        self.value = value
+
+    def cache_token(self):
+        return ("_Token", self.value)
+
+
+class TestStableRepr:
+    def test_primitives_round_trip(self):
+        assert stable_repr(3) != stable_repr("3")
+        assert stable_repr(0.1) == stable_repr(0.1)
+        assert stable_repr(True) != stable_repr(1)
+
+    def test_dict_order_is_canonical(self):
+        assert stable_repr({"a": 1, "b": 2}) == stable_repr({"b": 2, "a": 1})
+
+    def test_set_order_is_canonical(self):
+        assert stable_repr({3, 1, 2}) == stable_repr({2, 3, 1})
+
+    def test_dataclass_by_fields(self):
+        assert stable_repr(_Cfg(4, "x")) == stable_repr(_Cfg(4, "x"))
+        assert stable_repr(_Cfg(4, "x")) != stable_repr(_Cfg(6, "x"))
+
+    def test_enum_by_name(self):
+        assert "_Color.RED" in stable_repr(_Color.RED)
+
+    def test_callable_by_qualname_not_address(self):
+        assert stable_repr(_square) == stable_repr(_square)
+        assert "0x" not in stable_repr(_square)
+        assert stable_repr(_square) != stable_repr(_boom)
+
+    def test_partial_includes_bound_arguments(self):
+        a = functools.partial(_square, 2)
+        b = functools.partial(_square, 3)
+        assert stable_repr(a) != stable_repr(b)
+
+    def test_cache_token_is_honoured(self):
+        assert stable_repr(_Token(1)) == stable_repr(_Token(1))
+        assert stable_repr(_Token(1)) != stable_repr(_Token(2))
+
+    def test_topology_token_distinguishes_shapes(self):
+        assert stable_repr(mesh(2, 2)) != stable_repr(mesh(3, 3))
+        assert stable_repr(mesh(2, 2)) == stable_repr(mesh(2, 2))
+
+    def test_opaque_fallback_is_type_only(self):
+        class Opaque:
+            pass
+
+        # Documented limitation: value-carrying objects without
+        # cache_token() collide by design -- the repr is type identity.
+        assert stable_repr(Opaque()) == stable_repr(Opaque())
+        assert "Opaque" in stable_repr(Opaque())
+
+    def test_salt_and_version_feed_the_key(self):
+        assert isinstance(CACHE_VERSION, int)
+        k1 = ExperimentRunner()._key(_square, 3)
+        k2 = ExperimentRunner(salt="s")._key(_square, 3)
+        assert k1 != k2
