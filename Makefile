@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures
+.PHONY: test bench bench-smoke figures report-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,5 +16,12 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke:
+bench-smoke: report-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
+
+# Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
+# re-validate every artifact (metrics schema, trace-event JSON with
+# complete packet lifecycles, heatmap CSV).  See docs/OBSERVABILITY.md.
+report-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro report \
+		--out .report-smoke --mesh 2x2 --cycles 600 --check

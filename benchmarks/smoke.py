@@ -1,7 +1,7 @@
 """Smoke-run one tiny point of every bench family through the runner.
 
 ``make bench-smoke`` executes this script.  Each bench_* family (the
-a1-a10 ablations, the f1-f10 paper figures, the s1 simulator bench) is
+a1-a10 ablations, the f1-f10 paper figures, the s1/s2 system benches) is
 represented by one miniature measurement -- same code paths, toy sizes
 -- dispatched through :class:`repro.flow.runner.ExperimentRunner`, so a
 single quick run exercises the NoC builder, both flow-control modes,
@@ -135,6 +135,19 @@ def smoke_fast_path():
     return f"digests match ({digest[:12]})"
 
 
+def smoke_telemetry():
+    """s2: the full telemetry suite on a tiny run."""
+    from repro.telemetry import NocTelemetry, validate_metrics
+
+    noc = _tiny_noc()
+    telem = NocTelemetry(noc)
+    noc.run_until_drained(max_cycles=200_000)
+    doc = telem.snapshot()
+    validate_metrics(doc)
+    assert len(telem.collector.events) > 0
+    return f"{len(telem.collector.events)} lifecycle events"
+
+
 POINTS = {
     "synth_models": smoke_synth_models,
     "energy": smoke_energy,
@@ -145,6 +158,7 @@ POINTS = {
     "error_control": smoke_error_control,
     "deep_pipeline": smoke_deep_pipeline,
     "fast_path": smoke_fast_path,
+    "telemetry": smoke_telemetry,
 }
 
 

@@ -6,11 +6,21 @@ Usage::
     python -m repro demo              # run the quickstart network
     python -m repro mesh-case-study   # the paper's 2.6 mm2 headline
     python -m repro figures           # regenerate every paper figure
+    python -m repro report --out DIR  # run a scenario with telemetry
 
 ``figures`` accepts ``--jobs N`` (run sweep points on N worker
 processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
 config hash -- see docs/PERFORMANCE.md).  Both default off, preserving
 the sequential uncached behaviour.
+
+``report`` runs uniform random traffic on a mesh with the full
+telemetry suite attached (see docs/OBSERVABILITY.md) and writes
+``metrics.json`` (schema repro.telemetry/v1), ``trace.json`` (Chrome
+trace-event format -- load it in https://ui.perfetto.dev or
+``chrome://tracing``) and ``heatmap.txt``/``heatmap.csv`` (per-link
+utilization).  Options: ``--mesh WxH``, ``--cycles N``, ``--rate R``,
+``--window W`` (heatmap window), ``--check`` (re-read and validate
+every artifact; exit non-zero on any violation).
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ def _info() -> int:
         ("repro.sim", "cycle-accurate kernel, stats, tracing, VCD"),
         ("repro.core", "flits, OCP, packetization, NIs, switch, links, CRC"),
         ("repro.network", "topologies, NoC builder, traffic, monitors, deadlock"),
+        ("repro.telemetry", "metrics registry, lifecycle tracing, heatmaps"),
         ("repro.bus", "AHB-like shared bus + bridged hierarchy baseline"),
         ("repro.synth", "area/power/timing/energy models @130nm anchors"),
         ("repro.flow", "task graphs, mapping, floorplan, bandwidth, selection"),
@@ -86,6 +97,95 @@ def _figures(jobs: int = 1, cache: "str | None" = None) -> int:
     return pytest.main(["benchmarks/", "--benchmark-only", "-q"])
 
 
+def _check_report(paths) -> "list[str]":
+    """Re-read every report artifact and list schema violations."""
+    import json
+
+    from repro.telemetry import TelemetryError, validate_metrics
+
+    problems = []
+    try:
+        validate_metrics(json.loads(paths["metrics"].read_text()))
+    except (TelemetryError, ValueError) as exc:
+        problems.append(f"metrics.json: {exc}")
+    try:
+        trace = json.loads(paths["trace"].read_text())
+        events = trace["traceEvents"]
+        complete = [
+            e
+            for e in events
+            if e.get("cat") == "packet"
+            and e.get("ph") == "X"
+            and "src" in e.get("args", {})
+            and "ejected_by" in e.get("args", {})
+        ]
+        if not complete:
+            problems.append(
+                "trace.json: no packet with both injection and ejection spans"
+            )
+        if not any(e.get("cat") == "hop" for e in events):
+            problems.append("trace.json: no per-hop arbitration spans")
+    except (ValueError, KeyError, TypeError) as exc:
+        problems.append(f"trace.json: not a trace-event document ({exc})")
+    try:
+        lines = paths["heatmap_csv"].read_text().strip().splitlines()
+        cols = len(lines[0].split(","))
+        for line in lines[1:]:
+            cells = line.split(",")
+            if len(cells) != cols:
+                raise ValueError(f"ragged row {cells[0]!r}")
+            for cell in cells[1:]:
+                float(cell)
+    except (ValueError, IndexError) as exc:
+        problems.append(f"heatmap.csv: {exc}")
+    return problems
+
+
+def _report(
+    out: str,
+    mesh_spec: str = "2x2",
+    cycles: int = 2000,
+    rate: float = 0.1,
+    window: int = 100,
+    check: bool = False,
+) -> int:
+    from repro.network import Noc, UniformRandomTraffic, mesh
+    from repro.network.topology import attach_round_robin
+    from repro.telemetry import NocTelemetry
+
+    try:
+        w, h = (int(x) for x in mesh_spec.lower().split("x"))
+    except ValueError:
+        print(f"--mesh must look like 2x2, got {mesh_spec!r}", file=sys.stderr)
+        return 2
+    topo = mesh(w, h)
+    n = w * h
+    cpus, mems = attach_round_robin(topo, max(1, n // 2), max(1, n - n // 2))
+    noc = Noc(topo)
+    telemetry = NocTelemetry(noc, window=window)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, rate, seed=i) for i, c in enumerate(cpus)}
+    )
+    noc.run(cycles)
+    paths = telemetry.write(out)
+    events = len(telemetry.collector.events)
+    print(
+        f"{w}x{h} mesh, {len(cpus)} CPUs + {len(mems)} memories, "
+        f"{cycles} cycles at rate {rate}: {noc.total_completed()} transactions, "
+        f"{events} lifecycle events"
+    )
+    for kind, path in paths.items():
+        print(f"  {kind:<12} {path}")
+    if check:
+        problems = _check_report(paths)
+        if problems:
+            for p in problems:
+                print(f"CHECK FAILED: {p}", file=sys.stderr)
+            return 1
+        print("  check        all artifacts valid")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,7 +194,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["info", "demo", "mesh-case-study", "figures"],
+        choices=["info", "demo", "mesh-case-study", "figures", "report"],
         nargs="?",
         default="info",
     )
@@ -113,9 +213,58 @@ def main(argv=None) -> int:
         help="figures: memoize sweep results in DIR keyed by config "
         "hash (default: no cache)",
     )
+    parser.add_argument(
+        "--out",
+        default="telemetry-report",
+        metavar="DIR",
+        help="report: output directory for metrics.json / trace.json / "
+        "heatmap.{txt,csv} (default: telemetry-report)",
+    )
+    parser.add_argument(
+        "--mesh",
+        default="2x2",
+        metavar="WxH",
+        help="report: mesh dimensions (default: 2x2)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="report: cycles to simulate (default: 2000)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        metavar="R",
+        help="report: injection attempts per master per cycle (default: 0.1)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=100,
+        metavar="W",
+        help="report: heatmap window width in cycles (default: 100)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report: re-read and validate every artifact, exit non-zero "
+        "on violations",
+    )
     args = parser.parse_args(argv)
     if args.command == "figures":
         return _figures(jobs=args.jobs, cache=args.cache)
+    if args.command == "report":
+        return _report(
+            out=args.out,
+            mesh_spec=args.mesh,
+            cycles=args.cycles,
+            rate=args.rate,
+            window=args.window,
+            check=args.check,
+        )
     return {
         "info": _info,
         "demo": _demo,

@@ -69,6 +69,10 @@ class Link(Component):
         self._depth = depth
         self.flits_carried = 0
         self.errors_injected = 0
+        #: Lifecycle telemetry (see :mod:`repro.telemetry.lifecycle`):
+        #: when enabled, each injected error emits a ``link_error`` trace
+        #: event so corrupted hops are visible in the exported timeline.
+        self.lifecycle = False
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
@@ -77,12 +81,14 @@ class Link(Component):
         self.flits_carried = 0
         self.errors_injected = 0
 
-    def _inject(self, flit: Optional[Flit]) -> Optional[Flit]:
+    def _inject(self, flit: Optional[Flit], cycle: int) -> Optional[Flit]:
         if flit is None:
             return None
         self.flits_carried += 1
         if self.config.error_rate > 0.0 and self._rng.random() < self.config.error_rate:
             self.errors_injected += 1
+            if self.lifecycle:
+                self.trace(cycle, "link_error", pkt=flit.packet_id, seq=flit.seqno)
             if self.config.bit_errors:
                 # Bit-accurate mode: flip one real bit (sometimes two --
                 # adjacent coupling faults); detection is the CRC's job.
@@ -105,7 +111,7 @@ class Link(Component):
 
     def tick(self, cycle: int) -> None:
         # Forward path: sample the upstream wire, shift the pipe.
-        incoming = self._inject(self.up.peek_flit())
+        incoming = self._inject(self.up.peek_flit(), cycle)
         if self._depth == 0:
             outgoing = incoming
         else:

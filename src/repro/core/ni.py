@@ -158,6 +158,10 @@ class InitiatorNI(Component):
         #: Pure network latency: packet injection -> full reassembly,
         #: excluding OCP handshakes and memory service time.
         self.packet_latency = LatencySampler(f"{name}.pkt_latency")
+        #: Lifecycle telemetry (see :mod:`repro.telemetry.lifecycle`):
+        #: when enabled, packet injection and ejection emit span-anchor
+        #: trace events.  Off by default.
+        self.lifecycle = False
 
     def reset(self) -> None:
         self.tx.reset()
@@ -235,6 +239,14 @@ class InitiatorNI(Component):
         )
         packet = Packet(header=header, payload=tuple(txn.data))
         self.tx.submit(packet, cycle)
+        if self.lifecycle:
+            self.trace(
+                cycle,
+                "pkt_inject",
+                pkt=packet.packet_id,
+                kind=kind.name,
+                dst=dest_id,
+            )
         local_ack = kind is PacketKind.WRITE_POSTED
         if not local_ack:
             self._outstanding.setdefault((dest_id, txn.thread_id), deque()).append(txn)
@@ -319,6 +331,18 @@ class InitiatorNI(Component):
             if packet is not None:
                 if packet.birth_cycle >= 0:
                     self.packet_latency.samples.append(cycle - packet.birth_cycle)
+                if self.lifecycle:
+                    self.trace(
+                        cycle,
+                        "pkt_eject",
+                        pkt=packet.packet_id,
+                        kind=packet.header.kind.name,
+                        latency=(
+                            cycle - packet.birth_cycle
+                            if packet.birth_cycle >= 0
+                            else -1
+                        ),
+                    )
                 self._handle_response_packet(packet, cycle)
         if self.config.enforce_thread_order:
             self._drain_reorder()
@@ -388,6 +412,8 @@ class TargetNI(Component):
         self.requests_served = 0
         #: Pure network latency of incoming request packets.
         self.packet_latency = LatencySampler(f"{name}.pkt_latency")
+        #: Lifecycle telemetry (see :mod:`repro.telemetry.lifecycle`).
+        self.lifecycle = False
 
     def reset(self) -> None:
         self.tx.reset()
@@ -466,7 +492,13 @@ class TargetNI(Component):
             thread_id=header.thread_id,
         )
         payload = tuple(resp.data) if kind is PacketKind.READ_RESP else ()
-        self.tx.submit(Packet(header=resp_header, payload=payload), cycle)
+        packet = Packet(header=resp_header, payload=payload)
+        self.tx.submit(packet, cycle)
+        if self.lifecycle:
+            self.trace(
+                cycle, "pkt_inject", pkt=packet.packet_id, kind=kind.name,
+                dst=header.src_id,
+            )
         self.requests_served += 1
         self.trace(cycle, "respond", dst=header.src_id, kind=kind.name)
 
@@ -482,7 +514,13 @@ class TargetNI(Component):
             addr=event.vector,
             thread_id=0,
         )
-        self.tx.submit(Packet(header=header), cycle)
+        packet = Packet(header=header)
+        self.tx.submit(packet, cycle)
+        if self.lifecycle:
+            self.trace(
+                cycle, "pkt_inject", pkt=packet.packet_id,
+                kind=PacketKind.INTERRUPT.name, dst=self.interrupt_target,
+            )
 
     def tick(self, cycle: int) -> None:
         # Receive path: at most one flit per cycle.
@@ -498,6 +536,18 @@ class TargetNI(Component):
             if packet is not None:
                 if packet.birth_cycle >= 0:
                     self.packet_latency.samples.append(cycle - packet.birth_cycle)
+                if self.lifecycle:
+                    self.trace(
+                        cycle,
+                        "pkt_eject",
+                        pkt=packet.packet_id,
+                        kind=packet.header.kind.name,
+                        latency=(
+                            cycle - packet.birth_cycle
+                            if packet.birth_cycle >= 0
+                            else -1
+                        ),
+                    )
                 self._handle_request_packet(packet, cycle)
 
         # Issue the oldest reassembled request to the slave core.

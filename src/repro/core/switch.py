@@ -136,6 +136,14 @@ class Switch(Component):
         self._input_dest: List[Optional[int]] = [None] * config.n_inputs
         self.flits_routed = 0
         self.allocation_conflicts = 0
+        #: Lifecycle telemetry (see :mod:`repro.telemetry.lifecycle`):
+        #: when enabled, head-flit arrival cycles are tracked per input
+        #: so each packet hop emits a ``hop`` trace event carrying its
+        #: arbitration wait.  Off by default -- the only disabled-mode
+        #: cost is one boolean test per stage.
+        self.lifecycle = False
+        # Per input: (packet_id, first cycle its head was seen here).
+        self._head_arrival: "List[Optional[tuple]]" = [None] * config.n_inputs
 
     def reset(self) -> None:
         for r in self.receivers:
@@ -147,6 +155,7 @@ class Switch(Component):
         self._input_dest = [None] * self.config.n_inputs
         self.flits_routed = 0
         self.allocation_conflicts = 0
+        self._head_arrival = [None] * self.config.n_inputs
 
     # -- fast-path quiescence contract ------------------------------------
     def wake_inputs(self):
@@ -233,6 +242,15 @@ class Switch(Component):
         for i, flit in enumerate(candidates):
             if flit is not None:
                 requested[i] = self._requested_output(i, flit)
+        if self.lifecycle:
+            # First sighting of each head flit: the anchor for the hop's
+            # arbitration-wait measurement.  Retransmissions of the same
+            # head (same packet id) keep the original arrival cycle.
+            for i, flit in enumerate(candidates):
+                if flit is not None and flit.is_head:
+                    seen = self._head_arrival[i]
+                    if seen is None or seen[0] != flit.packet_id:
+                        self._head_arrival[i] = (flit.packet_id, cycle)
 
         # Phase 2: one winner per output.
         winner_of: List[Optional[int]] = [None] * self.config.n_outputs
@@ -278,6 +296,21 @@ class Switch(Component):
     def _commit(self, input_index: int, out_idx: int, flit: Flit, cycle: int) -> None:
         """A flit won allocation: update wormhole state, enter the output."""
         port = self.outputs[out_idx]
+        if self.lifecycle and flit.is_head:
+            seen = self._head_arrival[input_index]
+            arrival = (
+                seen[1] if seen is not None and seen[0] == flit.packet_id else cycle
+            )
+            self._head_arrival[input_index] = None
+            self.trace(
+                cycle,
+                "hop",
+                pkt=flit.packet_id,
+                inp=input_index,
+                out=out_idx,
+                arrival=arrival,
+                wait=cycle - arrival,
+            )
         if flit.is_head:
             flit = flit.advance_route()
             if not flit.is_tail:

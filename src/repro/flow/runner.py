@@ -41,8 +41,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 #: Bumped when the library changes in ways that invalidate cached
-#: results wholesale (e.g. measurement-semantics fixes).
-CACHE_VERSION = 1
+#: results wholesale (e.g. measurement-semantics fixes).  v2: sweep
+#: points now carry a :class:`RunManifest`, so pre-manifest pickles must
+#: not be served.
+CACHE_VERSION = 2
 
 
 def stable_repr(obj: Any) -> str:
@@ -112,6 +114,38 @@ class PointReport:
     cached: bool
 
 
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record for one executed (or cache-served) point.
+
+    Answers "where did this number come from?" long after the sweep: the
+    cache key identifies the exact work, ``cached`` says whether this
+    process computed it or served a pickle, ``seconds`` is the compute
+    cost (0 for cache hits), and the version pair pins the library state
+    the result was produced under.  :meth:`ExperimentRunner.map` stores
+    one per point, in input order, in ``last_manifests``;
+    :func:`repro.network.experiments.load_sweep` attaches them to its
+    :class:`~repro.network.experiments.LoadPoint` results.
+    """
+
+    key: str
+    cached: bool
+    seconds: float
+    repro_version: str
+    cache_version: int = CACHE_VERSION
+
+    @classmethod
+    def local(cls, key: str, cached: bool, seconds: float) -> "RunManifest":
+        import repro
+
+        return cls(
+            key=key,
+            cached=cached,
+            seconds=seconds,
+            repro_version=repro.__version__,
+        )
+
+
 @dataclass
 class ExperimentRunner:
     """Fan independent experiment points out; memoize their results.
@@ -136,6 +170,10 @@ class ExperimentRunner:
     reports: List[PointReport] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Per-point provenance for the most recent :meth:`map` call, in
+    #: input order (unlike ``reports``, which accumulates across calls
+    #: in completion order).
+    last_manifests: List[RunManifest] = field(default_factory=list)
 
     @classmethod
     def from_env(cls) -> "ExperimentRunner":
@@ -200,12 +238,14 @@ class ExperimentRunner:
         """
         keys = [self._key(fn, p) for p in points]
         results: List[Any] = [None] * len(points)
+        manifests: List[Optional[RunManifest]] = [None] * len(points)
         pending: List[int] = []
         for i, key in enumerate(keys):
             hit, value = self._cache_load(key)
             if hit:
                 self.cache_hits += 1
                 results[i] = value
+                manifests[i] = RunManifest.local(key, cached=True, seconds=0.0)
                 self.reports.append(
                     PointReport(f"{label}[{i}]", key, 0.0, cached=True)
                 )
@@ -218,6 +258,9 @@ class ExperimentRunner:
                 futures = {i: pool.submit(_timed_call, fn, points[i]) for i in pending}
                 for i in pending:
                     seconds, results[i] = futures[i].result()
+                    manifests[i] = RunManifest.local(
+                        keys[i], cached=False, seconds=seconds
+                    )
                     self.reports.append(
                         PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
                     )
@@ -226,13 +269,15 @@ class ExperimentRunner:
             for i in pending:
                 t0 = time.perf_counter()
                 results[i] = fn(points[i])
+                seconds = time.perf_counter() - t0
+                manifests[i] = RunManifest.local(
+                    keys[i], cached=False, seconds=seconds
+                )
                 self.reports.append(
-                    PointReport(
-                        f"{label}[{i}]", keys[i],
-                        time.perf_counter() - t0, cached=False,
-                    )
+                    PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
                 )
                 self._cache_store(keys[i], results[i])
+        self.last_manifests = [m for m in manifests if m is not None]
         return results
 
     # -- reporting --------------------------------------------------------

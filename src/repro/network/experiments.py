@@ -19,10 +19,13 @@ byte-identical statistics digests (see ``docs/PERFORMANCE.md``).
 
 from __future__ import annotations
 
+import dataclasses
 import functools
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.flow.runner import RunManifest
 from repro.network.noc import Noc, NocBuildConfig
 from repro.network.topology import attach_round_robin
 from repro.network.traffic import UniformRandomTraffic
@@ -38,6 +41,10 @@ class LoadPoint:
     mean_latency: float
     p95_latency: float
     completed: int
+    #: Provenance (cache key, hit/miss, wall time, library version) --
+    #: attached by :func:`load_sweep`, excluded from equality so cached
+    #: and freshly computed points still compare equal.
+    manifest: Optional[RunManifest] = field(default=None, compare=False)
 
     @property
     def saturated(self) -> bool:
@@ -143,6 +150,11 @@ def load_sweep(
     the per-rate measurements run through it -- possibly in parallel,
     possibly from cache -- in which case ``build_noc`` must be picklable
     (use :class:`TopologyNocBuilder`, not a lambda).
+
+    Every returned point carries a
+    :class:`~repro.flow.runner.RunManifest` in ``point.manifest``
+    recording where the number came from: with a runner, the cache key
+    plus hit/miss and compute seconds; inline, a keyless timed record.
     """
     if warmup_cycles < 0 or measure_cycles <= 0:
         raise ValueError("invalid warmup/measurement window")
@@ -155,8 +167,20 @@ def load_sweep(
         seed=seed,
     )
     if runner is None:
-        return [fn(rate) for rate in rates]
-    return runner.map(fn, rates, label="load_sweep")
+        points = []
+        for rate in rates:
+            t0 = time.perf_counter()
+            point = fn(rate)
+            manifest = RunManifest.local(
+                key="", cached=False, seconds=time.perf_counter() - t0
+            )
+            points.append(dataclasses.replace(point, manifest=manifest))
+        return points
+    points = runner.map(fn, rates, label="load_sweep")
+    return [
+        dataclasses.replace(point, manifest=manifest)
+        for point, manifest in zip(points, runner.last_manifests)
+    ]
 
 
 def verify_fast_path(

@@ -4,16 +4,27 @@ The SystemC simulation view of xpipes comes with monitors that designers
 use to find hotspots before committing to a topology.  This module adds
 the equivalents to the Python view:
 
-* :class:`NetworkMonitor` -- samples switch output-queue occupancy every
-  cycle and aggregates per-link utilization and ACK/NACK health counters
-  from the components' own instrumentation;
+* :class:`NetworkMonitor` -- tracks switch output-queue occupancy and
+  aggregates per-link utilization and ACK/NACK health counters from the
+  components' own instrumentation;
 * :func:`utilization_report` -- a printable per-link/per-switch summary.
+
+Occupancy sampling is **activity-aware**: instead of a per-cycle watcher
+that reads every queue even while the whole fabric is quiescent (which
+defeats the fast-path scheduler's point), the monitor registers kernel
+*tick probes* (:meth:`repro.sim.kernel.Simulator.add_probe`) on each
+switch.  A probe fires only on cycles the switch actually executed;
+queue depths cannot change on skipped cycles, so the monitor weights the
+last observed depths by the number of cycles they persisted.  The
+resulting statistics are cycle-exact -- identical under ``fast_path``
+True and False, which ``tests/test_monitors.py`` checks differentially
+-- while costing nothing on quiescent cycles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 if TYPE_CHECKING:
     from repro.network.noc import Noc
@@ -21,15 +32,20 @@ if TYPE_CHECKING:
 
 @dataclass
 class QueueStats:
-    """Occupancy statistics of one switch output queue."""
+    """Occupancy statistics of one switch output queue.
+
+    ``samples`` counts *cycles accounted*, not probe firings: a depth
+    observed once but persisting ``n`` quiescent cycles is recorded with
+    weight ``n``, so means are per-cycle means in both scheduling modes.
+    """
 
     samples: int = 0
     total: int = 0
     peak: int = 0
 
-    def record(self, depth: int) -> None:
-        self.samples += 1
-        self.total += depth
+    def record(self, depth: int, cycles: int = 1) -> None:
+        self.samples += cycles
+        self.total += depth * cycles
         self.peak = max(self.peak, depth)
 
     @property
@@ -54,24 +70,61 @@ class LinkStats:
 class NetworkMonitor:
     """Attachable probe suite for a :class:`~repro.network.noc.Noc`.
 
-    Construction registers a per-cycle watcher; call :meth:`snapshot`
-    (or :func:`utilization_report`) after the run.
+    Construction registers one tick probe per switch; call
+    :meth:`flush` (done automatically by the aggregation methods and
+    :func:`utilization_report`) to account cycles simulated since the
+    last switch activity before reading statistics.
     """
 
     def __init__(self, noc: "Noc") -> None:
         self.noc = noc
-        self.cycles_observed = 0
+        self._start_cycle = noc.sim.cycle
         self.queue_stats: Dict[str, QueueStats] = {}
+        # Per switch: its port QueueStats plus the pending observation
+        # -- (cycle the depths were read, the depths) -- that future
+        # cycles extend until the switch ticks again.
+        self._ports: Dict[str, List[QueueStats]] = {}
+        self._pending: Dict[str, Tuple[int, List[int]]] = {}
         for name, sw in noc.switches.items():
-            for port in sw.outputs:
-                self.queue_stats[f"{name}.out{port.index}"] = QueueStats()
-        noc.sim.add_watcher(self._sample)
+            outputs = getattr(sw, "outputs", None)
+            if outputs is None:
+                continue  # credit-mode switches expose no output queues
+            stats = []
+            for port in outputs:
+                qs = QueueStats()
+                self.queue_stats[f"{name}.out{port.index}"] = qs
+                stats.append(qs)
+            self._ports[name] = stats
+            self._pending[name] = (
+                self._start_cycle,
+                [len(p.queue) for p in outputs],
+            )
+            noc.sim.add_probe(
+                sw, lambda cycle, n=name, s=sw: self._on_switch_tick(n, s, cycle)
+            )
 
-    def _sample(self, cycle: int) -> None:
-        self.cycles_observed += 1
-        for name, sw in self.noc.switches.items():
-            for port in sw.outputs:
-                self.queue_stats[f"{name}.out{port.index}"].record(len(port.queue))
+    def _on_switch_tick(self, name: str, sw, cycle: int) -> None:
+        since, depths = self._pending[name]
+        span = cycle - since
+        if span > 0:
+            for qs, d in zip(self._ports[name], depths):
+                qs.record(d, span)
+        # Post-tick depths hold from this cycle until the next tick.
+        self._pending[name] = (cycle, [len(p.queue) for p in sw.outputs])
+
+    def flush(self) -> None:
+        """Account all cycles simulated so far into the queue stats."""
+        now = self.noc.sim.cycle
+        for name, (since, depths) in self._pending.items():
+            span = now - since
+            if span > 0:
+                for qs, d in zip(self._ports[name], depths):
+                    qs.record(d, span)
+                self._pending[name] = (now, depths)
+
+    @property
+    def cycles_observed(self) -> int:
+        return self.noc.sim.cycle - self._start_cycle
 
     # -- aggregation -------------------------------------------------------
     def link_stats(self) -> List[LinkStats]:
@@ -89,6 +142,7 @@ class NetworkMonitor:
         return sorted(self.link_stats(), key=lambda s: -s.utilization)[:n]
 
     def hottest_queues(self, n: int = 5) -> List[tuple]:
+        self.flush()
         ranked = sorted(self.queue_stats.items(), key=lambda kv: -kv[1].mean)
         return ranked[:n]
 
@@ -107,6 +161,7 @@ class NetworkMonitor:
 
 def utilization_report(monitor: NetworkMonitor, top: int = 5) -> str:
     """Printable hotspot summary."""
+    monitor.flush()
     lines = [
         f"network monitor: {monitor.cycles_observed} cycles observed",
         f"NACK ratio: {monitor.nack_ratio():.3f}",

@@ -66,6 +66,7 @@ class Simulator:
         self._wires: List[Wire] = []
         self._wire_names: Dict[str, Wire] = {}
         self._watchers: List[Callable[[int], None]] = []
+        self._probes: Dict[Component, List[Callable[[int], None]]] = {}
         # Fast-path scheduler state.
         self.fast_path = bool(fast_path)
         self._always_active: List[Component] = []  # no quiescence contract
@@ -132,6 +133,25 @@ class Simulator:
         """Register a callback invoked after every cycle (for probes)."""
         self._watchers.append(fn)
 
+    def add_probe(self, component: Component, fn: Callable[[int], None]) -> None:
+        """Invoke ``fn(cycle)`` right after ``component`` ticks.
+
+        Unlike a watcher -- which fires every cycle -- a probe fires only
+        on cycles where its component actually executed, in both
+        scheduling modes.  This is what makes sampling monitors
+        activity-aware under the fast path: state owned by a component
+        cannot change on cycles the component was skipped, so the probe
+        sees every state transition while paying nothing for quiescent
+        stretches (the monitor accounts skipped cycles by weighting the
+        last observed sample -- see
+        :class:`repro.network.monitors.NetworkMonitor`).
+        """
+        if component.sim is not self:
+            raise SimulationError(
+                f"cannot probe {component!r}: not registered with this simulator"
+            )
+        self._probes.setdefault(component, []).append(fn)
+
     # -- fast-path control -----------------------------------------------
     def wake(self, component: Component) -> None:
         """Schedule a contract-implementing component for the next tick."""
@@ -191,6 +211,12 @@ class Simulator:
             run = self._always_active  # already in registration order
         for c in run:
             c.tick(cyc)
+        if self._probes:
+            for c in run:
+                fns = self._probes.get(c)
+                if fns is not None:
+                    for fn in fns:
+                        fn(cyc)
         self.ticks_executed += len(run)
         self.ticks_skipped += len(self._components) - len(run)
         nxt = self._awake
@@ -226,6 +252,12 @@ class Simulator:
         cyc = self.cycle
         for c in self._components:
             c.tick(cyc)
+        if self._probes:
+            for c in self._components:
+                fns = self._probes.get(c)
+                if fns is not None:
+                    for fn in fns:
+                        fn(cyc)
         for w in self._wires:
             w.update()
         hot = self._hot_wires

@@ -44,10 +44,27 @@ class LatencySampler:
         self._open[token] = cycle
 
     def finish(self, token: object, cycle: int) -> int:
-        begin = self._open.pop(token)
+        try:
+            begin = self._open.pop(token)
+        except KeyError:
+            raise KeyError(
+                f"sampler {self.name!r}: finish() for unknown token {token!r} "
+                f"(never started, already finished, or discarded); "
+                f"{len(self._open)} token(s) outstanding"
+            ) from None
         sample = cycle - begin
         self.samples.append(sample)
         return sample
+
+    def discard(self, token: object) -> bool:
+        """Forget an in-flight token without recording a sample.
+
+        The bookkeeping for dropped packets: a transaction that will
+        never finish must not linger in ``outstanding`` forever, nor
+        poison the statistics with a bogus latency.  Returns whether the
+        token was actually open.
+        """
+        return self._open.pop(token, None) is not None
 
     @property
     def outstanding(self) -> int:

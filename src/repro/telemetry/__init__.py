@@ -1,0 +1,51 @@
+"""Unified telemetry: metrics registry, lifecycle tracing, heatmaps.
+
+See ``docs/OBSERVABILITY.md`` for the metrics schema, the trace event
+reference, and the Perfetto loading how-to.  The three layers are usable
+independently; :class:`~repro.telemetry.noc.NocTelemetry` wires all of
+them to a NoC in one call (what ``python -m repro report`` does).
+"""
+
+from repro.telemetry.heatmap import (
+    LinkUtilizationSeries,
+    heatmap_csv,
+    render_heatmap,
+)
+from repro.telemetry.lifecycle import (
+    LIFECYCLE_EVENTS,
+    LifecycleCollector,
+    chrome_trace_events,
+    enable_lifecycle,
+    write_chrome_trace,
+)
+from repro.telemetry.noc import NocTelemetry
+from repro.telemetry.registry import (
+    SCHEMA,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    SeriesMetric,
+    TelemetryError,
+    validate_metrics,
+)
+
+__all__ = [
+    "SCHEMA",
+    "LIFECYCLE_EVENTS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "LifecycleCollector",
+    "LinkUtilizationSeries",
+    "MetricsRegistry",
+    "NocTelemetry",
+    "SeriesMetric",
+    "TelemetryError",
+    "chrome_trace_events",
+    "enable_lifecycle",
+    "heatmap_csv",
+    "render_heatmap",
+    "validate_metrics",
+    "write_chrome_trace",
+]

@@ -1,0 +1,246 @@
+"""Flit/packet lifecycle tracing and Chrome trace-event export.
+
+Where did a packet spend its cycles?  With lifecycle tracing enabled,
+the instrumented components emit three span-anchor events through the
+ordinary :class:`~repro.sim.trace.Tracer` interface:
+
+``pkt_inject``
+    Emitted by the NI back end when a packet is submitted for flit
+    decomposition.  Fields: ``pkt`` (packet id), ``kind`` (packet
+    kind name), ``dst`` (destination node id).
+``hop``
+    Emitted by a switch when a packet's head flit wins allocation.
+    Fields: ``pkt``, ``inp``/``out`` (port indices), ``arrival`` (cycle
+    the head was first seen on the input, surviving NACK/retransmission
+    rounds) and ``wait = cycle - arrival`` (the arbitration wait).
+``pkt_eject``
+    Emitted by the receiving NI when the tail flit completes
+    reassembly.  Fields: ``pkt``, ``kind``, ``latency`` (cycles since
+    injection, ``-1`` if the birth cycle is unknown).
+
+Links additionally emit ``link_error`` (fields ``pkt``, ``seq``) for
+every injected error, so retransmission causes are visible inline.
+
+:func:`chrome_trace_events` folds a recorded event stream into the
+Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+load): one timeline row per packet, with an end-to-end span, one
+``arb@switch`` span per hop (arbitration wait) and one ``link->`` span
+per inter-hop transfer (output queueing + serialization + wire
+transit).  One simulation cycle maps to one microsecond of trace time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import Tracer
+
+#: Event names that define the packet lifecycle.
+LIFECYCLE_EVENTS = ("pkt_inject", "hop", "pkt_eject", "link_error")
+_LIFECYCLE_SET = frozenset(LIFECYCLE_EVENTS)
+
+#: The trace-event ``pid`` every NoC event is filed under.
+TRACE_PID = 1
+
+Event = Tuple[int, str, str, Dict[str, object]]
+
+
+def enable_lifecycle(noc, enabled: bool = True) -> int:
+    """Flip lifecycle instrumentation on every component of a NoC.
+
+    Returns the number of components toggled.  Components without the
+    hook (e.g. credit-mode switches) are skipped silently.
+    """
+    toggled = 0
+    components = (
+        list(noc.switches.values())
+        + list(noc.initiator_nis.values())
+        + list(noc.target_nis.values())
+        + list(noc.links)
+    )
+    for comp in components:
+        if hasattr(comp, "lifecycle"):
+            comp.lifecycle = bool(enabled)
+            toggled += 1
+    return toggled
+
+
+class LifecycleCollector(Tracer):
+    """A tracer that retains lifecycle events and forwards everything.
+
+    Install as ``sim.tracer``; any previously installed tracer keeps
+    working via ``inner``.  Only the four lifecycle event kinds are
+    retained (bounded by ``limit``), so long runs don't accumulate the
+    per-flit ``route`` chatter.
+    """
+
+    def __init__(self, inner: Optional[Tracer] = None, limit: Optional[int] = None) -> None:
+        self.events: List[Event] = []
+        self.inner = inner
+        self.limit = limit
+        self.dropped = 0
+
+    def record(self, cycle: int, source: str, event: str, fields: Dict[str, object]) -> None:
+        if event in _LIFECYCLE_SET:
+            if self.limit is None or len(self.events) < self.limit:
+                self.events.append((cycle, source, event, dict(fields)))
+            else:
+                self.dropped += 1
+        if self.inner is not None:
+            self.inner.record(cycle, source, event, fields)
+
+
+def chrome_trace_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
+    """Convert recorded lifecycle events into Chrome trace-event dicts.
+
+    Works from any ``(cycle, source, event, fields)`` stream -- a
+    :class:`LifecycleCollector` or a plain
+    :class:`~repro.sim.trace.TextTracer`.  Unknown event kinds are
+    ignored, so mixed streams are fine.
+    """
+    injects: Dict[int, Event] = {}
+    ejects: Dict[int, Event] = {}
+    hops: Dict[int, List[Event]] = {}
+    errors: Dict[int, List[Event]] = {}
+    for ev in events:
+        cycle, source, name, fields = ev
+        pkt = fields.get("pkt")
+        if not isinstance(pkt, int):
+            continue
+        if name == "pkt_inject":
+            injects.setdefault(pkt, ev)
+        elif name == "pkt_eject":
+            ejects.setdefault(pkt, ev)
+        elif name == "hop":
+            hops.setdefault(pkt, []).append(ev)
+        elif name == "link_error":
+            errors.setdefault(pkt, []).append(ev)
+
+    out: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "repro NoC"},
+        }
+    ]
+    for pkt in sorted(set(injects) | set(ejects) | set(hops)):
+        inj = injects.get(pkt)
+        ej = ejects.get(pkt)
+        pkt_hops = sorted(hops.get(pkt, []), key=lambda e: e[0])
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": pkt,
+                "args": {"name": f"pkt {pkt}"},
+            }
+        )
+        begin = inj[0] if inj else (pkt_hops[0][3].get("arrival", pkt_hops[0][0]) if pkt_hops else None)
+        end = ej[0] if ej else (pkt_hops[-1][0] if pkt_hops else None)
+        if begin is not None and end is not None:
+            kind = (inj or ej)[3].get("kind", "?")
+            args: Dict[str, Any] = {"pkt": pkt, "kind": kind, "hops": len(pkt_hops)}
+            if inj:
+                args["src"] = inj[1]
+                args["dst"] = inj[3].get("dst")
+            if ej:
+                args["ejected_by"] = ej[1]
+                args["latency"] = ej[3].get("latency")
+            out.append(
+                {
+                    "ph": "X",
+                    "name": f"pkt {pkt} {kind}",
+                    "cat": "packet",
+                    "pid": TRACE_PID,
+                    "tid": pkt,
+                    "ts": begin,
+                    "dur": max(end - begin, 0),
+                    "args": args,
+                }
+            )
+        for i, (cycle, source, _name, fields) in enumerate(pkt_hops):
+            arrival = int(fields.get("arrival", cycle))
+            wait = int(fields.get("wait", cycle - arrival))
+            out.append(
+                {
+                    "ph": "X",
+                    "name": f"arb@{source}",
+                    "cat": "hop",
+                    "pid": TRACE_PID,
+                    "tid": pkt,
+                    "ts": arrival,
+                    "dur": max(wait, 0),
+                    "args": {
+                        "switch": source,
+                        "in": fields.get("inp"),
+                        "out": fields.get("out"),
+                        "wait": wait,
+                    },
+                }
+            )
+            # The transfer to the next observation point: output queue +
+            # go-back-N serialization + wire/pipeline transit, bounded by
+            # the next hop's arrival (or ejection for the last hop).
+            if i + 1 < len(pkt_hops):
+                next_arrival = int(pkt_hops[i + 1][3].get("arrival", pkt_hops[i + 1][0]))
+                link_name = f"link {source}->{pkt_hops[i + 1][1]}"
+            elif ej is not None:
+                next_arrival = ej[0]
+                link_name = f"link {source}->{ej[1]}"
+            else:
+                continue
+            out.append(
+                {
+                    "ph": "X",
+                    "name": link_name,
+                    "cat": "link",
+                    "pid": TRACE_PID,
+                    "tid": pkt,
+                    "ts": cycle,
+                    "dur": max(next_arrival - cycle, 0),
+                    "args": {"from": source},
+                }
+            )
+        for cycle, source, _name, fields in errors.get(pkt, []):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"link_error@{source}",
+                    "cat": "error",
+                    "pid": TRACE_PID,
+                    "tid": pkt,
+                    "ts": cycle,
+                    "s": "t",
+                    "args": {"seq": fields.get("seq")},
+                }
+            )
+    return out
+
+
+def write_chrome_trace(
+    stream: IO[str],
+    events: Iterable[Event],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a complete trace-event JSON document; returns event count.
+
+    The output loads directly in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.  Trace timestamps are microseconds; one
+    simulation cycle is exported as one microsecond.
+    """
+    trace_events = chrome_trace_events(events)
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "time_unit": "1 cycle = 1us",
+            **(metadata or {}),
+        },
+    }
+    json.dump(doc, stream, indent=1)
+    return len(trace_events)

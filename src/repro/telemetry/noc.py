@@ -1,0 +1,210 @@
+"""One-call telemetry attachment for a whole NoC.
+
+:class:`NocTelemetry` is the aggregation layer the ``python -m repro
+report`` CLI uses: constructing one against a built (ideally not yet
+run) :class:`~repro.network.noc.Noc`
+
+* creates a :class:`~repro.telemetry.registry.MetricsRegistry` and
+  registers callback-backed gauges over the components' existing
+  instrumentation counters (zero hot-path cost -- values are read at
+  export time),
+* attaches a :class:`~repro.network.monitors.NetworkMonitor`
+  (activity-aware queue occupancy via kernel tick probes),
+* attaches a :class:`~repro.telemetry.heatmap.LinkUtilizationSeries`
+  (windowed per-link utilization),
+* installs a :class:`~repro.telemetry.lifecycle.LifecycleCollector` as
+  the simulator's tracer (chaining any tracer already installed) and
+  flips lifecycle instrumentation on every component.
+
+After (or during) the run, :meth:`snapshot` returns the schema-stable
+metrics document and :meth:`write` dumps the full artifact set --
+``metrics.json``, ``trace.json`` (Chrome trace-event format, loadable
+in Perfetto), ``heatmap.txt`` and ``heatmap.csv`` -- into a directory.
+
+Telemetry is strictly opt-in: a NoC without a ``NocTelemetry`` attached
+pays only dormant ``if self.lifecycle`` flag checks, measured at under
+5% wall clock by ``benchmarks/bench_s2_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.network.monitors import NetworkMonitor
+from repro.sim.trace import NullTracer
+from repro.telemetry.heatmap import LinkUtilizationSeries, heatmap_csv, render_heatmap
+from repro.telemetry.lifecycle import (
+    LifecycleCollector,
+    enable_lifecycle,
+    write_chrome_trace,
+)
+from repro.telemetry.registry import MetricsRegistry, validate_metrics
+
+if TYPE_CHECKING:
+    from repro.network.noc import Noc
+
+
+class NocTelemetry:
+    """All telemetry collectors for one NoC, attached in one call."""
+
+    def __init__(
+        self,
+        noc: "Noc",
+        window: int = 100,
+        trace_limit: Optional[int] = 100_000,
+        latency_bin_width: int = 10,
+    ) -> None:
+        self.noc = noc
+        self.latency_bin_width = latency_bin_width
+        self.registry = MetricsRegistry()
+        self.monitor = NetworkMonitor(noc)
+        self.link_series = LinkUtilizationSeries(noc, window=window, registry=self.registry)
+        inner = noc.sim.tracer
+        self.collector = LifecycleCollector(
+            inner=None if isinstance(inner, NullTracer) else inner,
+            limit=trace_limit,
+        )
+        noc.sim.tracer = self.collector
+        self.components_instrumented = enable_lifecycle(noc)
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        reg, noc = self.registry, self.noc
+        sim = noc.sim
+        reg.gauge("sim.cycles", lambda: sim.cycle, help="cycles simulated")
+        reg.gauge(
+            "sim.ticks_executed", lambda: sim.ticks_executed,
+            help="component ticks actually run",
+        )
+        reg.gauge(
+            "sim.ticks_skipped", lambda: sim.ticks_skipped,
+            help="component ticks elided by the fast-path scheduler",
+        )
+        reg.gauge(
+            "noc.flits_carried", noc.total_flits_carried,
+            help="flit-hops across all links",
+        )
+        reg.gauge(
+            "noc.errors_injected", noc.total_errors_injected,
+            help="link errors injected",
+        )
+        reg.gauge(
+            "noc.retransmissions", noc.total_retransmissions,
+            help="go-back-N retransmissions",
+        )
+        reg.gauge(
+            "noc.transactions_issued", noc.total_issued,
+            help="OCP transactions issued by all masters",
+        )
+        reg.gauge(
+            "noc.transactions_completed", noc.total_completed,
+            help="OCP transactions completed by all masters",
+        )
+        for name, sw in noc.switches.items():
+            reg.gauge(
+                f"switch.{name}.flits_routed", lambda s=sw: s.flits_routed,
+                help="flits committed through the crossbar",
+            )
+            reg.gauge(
+                f"switch.{name}.allocation_conflicts",
+                lambda s=sw: s.allocation_conflicts,
+                help="cycles a requested output was taken",
+            )
+        for name, ni in noc.initiator_nis.items():
+            reg.gauge(
+                f"ni.{name}.transactions_issued",
+                lambda n=ni: n.transactions_issued,
+                help="transactions packetized by this initiator NI",
+            )
+            reg.gauge(
+                f"ni.{name}.responses_delivered",
+                lambda n=ni: n.responses_delivered,
+                help="responses reassembled and handed to the core",
+            )
+        for name, ni in noc.target_nis.items():
+            reg.gauge(
+                f"ni.{name}.requests_served", lambda n=ni: n.requests_served,
+                help="requests reassembled and served by this target NI",
+            )
+        for link in noc.links:
+            reg.gauge(
+                f"link.{link.name}.flits_carried",
+                lambda l=link: l.flits_carried,
+                help="flits carried by this link",
+            )
+        col = self.collector
+        reg.gauge(
+            "telemetry.trace_events", lambda: len(col.events),
+            help="lifecycle events retained",
+        )
+        reg.gauge(
+            "telemetry.trace_dropped", lambda: col.dropped,
+            help="lifecycle events dropped past the retention limit",
+        )
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The schema-stable metrics document for the run so far."""
+        noc = self.noc
+        self.monitor.flush()
+        self.link_series.finalize()
+        net = self.registry.histogram(
+            "latency.network", bin_width=self.latency_bin_width,
+            help="packet latency, injection to reassembly (cycles)",
+        )
+        net.clear()
+        for s in noc.network_latency().samples:
+            net.observe(s)
+        txn = self.registry.histogram(
+            "latency.transaction", bin_width=self.latency_bin_width,
+            help="end-to-end OCP transaction latency (cycles)",
+        )
+        txn.clear()
+        for s in noc.aggregate_latency().samples:
+            txn.observe(s)
+        self.registry.counter(
+            "monitor.cycles_observed", help="cycles accounted by the queue monitor"
+        ).value = self.monitor.cycles_observed
+        for qname, qs in self.monitor.queue_stats.items():
+            g = self.registry.gauge(
+                f"queue.{qname}.mean", help="mean output-queue occupancy (flits)"
+            )
+            g.set(qs.mean)
+            g = self.registry.gauge(
+                f"queue.{qname}.peak", help="peak output-queue occupancy (flits)"
+            )
+            g.set(qs.peak)
+        return self.registry.to_dict(sim_cycles=noc.sim.cycle)
+
+    def write(self, out_dir) -> Dict[str, Path]:
+        """Write metrics.json / trace.json / heatmap.{txt,csv} to a dir.
+
+        The metrics document is validated against the schema before it
+        is written; returns the path of every artifact produced.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        doc = self.snapshot()
+        validate_metrics(doc)
+        paths = {
+            "metrics": out / "metrics.json",
+            "trace": out / "trace.json",
+            "heatmap_txt": out / "heatmap.txt",
+            "heatmap_csv": out / "heatmap.csv",
+        }
+        paths["metrics"].write_text(json.dumps(doc, indent=2) + "\n")
+        with paths["trace"].open("w") as fh:
+            write_chrome_trace(
+                fh,
+                self.collector.events,
+                metadata={
+                    "topology": self.noc.topology.name,
+                    "cycles": self.noc.sim.cycle,
+                    "trace_dropped": self.collector.dropped,
+                },
+            )
+        paths["heatmap_txt"].write_text(render_heatmap(self.link_series) + "\n")
+        paths["heatmap_csv"].write_text(heatmap_csv(self.link_series))
+        return paths

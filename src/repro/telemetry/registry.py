@@ -1,0 +1,301 @@
+"""The central metrics registry: counters, gauges, windowed series.
+
+Components (and the attachment layer in :mod:`repro.telemetry.noc`)
+register named metrics here instead of keeping private ad-hoc counters,
+so every run can export one JSON document with a stable schema
+(:data:`SCHEMA`).  Four metric kinds exist:
+
+* :class:`CounterMetric` -- monotonically increasing event count;
+* :class:`GaugeMetric` -- an instantaneous value, either set explicitly
+  or read live from a zero-argument callable at export time (the way
+  existing component instrumentation attributes are surfaced without
+  touching the hot path);
+* :class:`SeriesMetric` -- a windowed time series: observations are
+  aggregated into fixed-width cycle windows, each keeping count / sum /
+  min / max (a per-window histogram summary, bounded memory);
+* :class:`HistogramMetric` -- value-bucketed counts (latency
+  distributions).
+
+:func:`validate_metrics` checks an exported document against the schema
+without any external dependency; the ``python -m repro report --check``
+CLI and the test suite both use it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Schema identifier stamped into every export; consumers should refuse
+#: documents with an unknown identifier.
+SCHEMA = "repro.telemetry/v1"
+
+
+class TelemetryError(ValueError):
+    """Schema violations and registry misuse."""
+
+
+class _Metric:
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def export(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CounterMetric(_Metric):
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        if by < 0:
+            raise TelemetryError(f"counter {self.name!r}: negative increment {by}")
+        self.value += by
+
+    def export(self) -> Dict[str, Any]:
+        return {"value": self.value, "help": self.help}
+
+
+class GaugeMetric(_Metric):
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        fn: Optional[Callable[[], Union[int, float]]] = None,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, help)
+        self._fn = fn
+        self._value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        if self._fn is not None:
+            raise TelemetryError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._fn() if self._fn is not None else self._value
+
+    def export(self) -> Dict[str, Any]:
+        value = self.value
+        if isinstance(value, float) and not math.isfinite(value):
+            value = None  # JSON has no inf/nan; absent beats invalid
+        return {"value": value, "help": self.help}
+
+
+class SeriesMetric(_Metric):
+    kind = "series"
+
+    def __init__(self, name: str, window: int = 100, help: str = "") -> None:
+        if window < 1:
+            raise TelemetryError(f"series {name!r}: window must be >= 1")
+        super().__init__(name, help)
+        self.window = window
+        self.buckets: List[Dict[str, Union[int, float]]] = []
+
+    def observe(self, cycle: int, value: Union[int, float]) -> None:
+        start = (cycle // self.window) * self.window
+        if self.buckets and self.buckets[-1]["start"] == start:
+            b = self.buckets[-1]
+            b["count"] += 1
+            b["sum"] += value
+            b["min"] = min(b["min"], value)
+            b["max"] = max(b["max"], value)
+        else:
+            if self.buckets and start < self.buckets[-1]["start"]:
+                raise TelemetryError(
+                    f"series {self.name!r}: observation at cycle {cycle} is "
+                    f"older than the current window"
+                )
+            self.buckets.append(
+                {"start": start, "count": 1, "sum": value, "min": value, "max": value}
+            )
+
+    def export(self) -> Dict[str, Any]:
+        return {
+            "window": self.window,
+            "help": self.help,
+            "buckets": [dict(b) for b in self.buckets],
+        }
+
+
+class HistogramMetric(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name: str, bin_width: int = 10, help: str = "") -> None:
+        if bin_width < 1:
+            raise TelemetryError(f"histogram {name!r}: bin_width must be >= 1")
+        super().__init__(name, help)
+        self.bin_width = bin_width
+        self.counts: Dict[int, int] = {}
+        self.observations = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        b = int(value // self.bin_width) * self.bin_width
+        self.counts[b] = self.counts.get(b, 0) + 1
+        self.observations += 1
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self.observations = 0
+
+    def export(self) -> Dict[str, Any]:
+        return {
+            "bin_width": self.bin_width,
+            "help": self.help,
+            # JSON object keys are strings; sorted for byte-stable output.
+            "counts": {str(k): self.counts[k] for k in sorted(self.counts)},
+        }
+
+
+class MetricsRegistry:
+    """Namespace of named metrics with one-call JSON export.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing metric if the kind matches and raises otherwise, so
+    independent components can share a registry without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- registration -----------------------------------------------------
+    def _register(self, metric: _Metric) -> _Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise TelemetryError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {metric.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> CounterMetric:
+        return self._register(CounterMetric(name, help))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        fn: Optional[Callable[[], Union[int, float]]] = None,
+        help: str = "",
+    ) -> GaugeMetric:
+        return self._register(GaugeMetric(name, fn, help))  # type: ignore[return-value]
+
+    def series(self, name: str, window: int = 100, help: str = "") -> SeriesMetric:
+        return self._register(SeriesMetric(name, window, help))  # type: ignore[return-value]
+
+    def histogram(self, name: str, bin_width: int = 10, help: str = "") -> HistogramMetric:
+        return self._register(HistogramMetric(name, bin_width, help))  # type: ignore[return-value]
+
+    # -- introspection ----------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export -----------------------------------------------------------
+    def to_dict(self, sim_cycles: Optional[int] = None) -> Dict[str, Any]:
+        """The full schema-stable export document."""
+        import repro
+
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "version": repro.__version__,
+            "sim_cycles": sim_cycles,
+            "counters": {},
+            "gauges": {},
+            "series": {},
+            "histograms": {},
+        }
+        section = {
+            "counter": "counters",
+            "gauge": "gauges",
+            "series": "series",
+            "histogram": "histograms",
+        }
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            doc[section[m.kind]][name] = m.export()
+        return doc
+
+    def to_json(self, sim_cycles: Optional[int] = None, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(sim_cycles=sim_cycles), indent=indent)
+
+
+def validate_metrics(doc: Any) -> None:
+    """Raise :class:`TelemetryError` if ``doc`` violates the v1 schema."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        raise TelemetryError(f"metrics document must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("version"), str):
+        errors.append("version must be a string")
+    if not (doc.get("sim_cycles") is None or isinstance(doc.get("sim_cycles"), int)):
+        errors.append("sim_cycles must be an integer or null")
+    for key in ("counters", "gauges", "series", "histograms"):
+        if not isinstance(doc.get(key), dict):
+            errors.append(f"{key} must be an object")
+    if not errors:
+        for name, c in doc["counters"].items():
+            if not (isinstance(c, dict) and isinstance(c.get("value"), int) and c["value"] >= 0):
+                errors.append(f"counter {name!r} must carry a non-negative int value")
+        for name, g in doc["gauges"].items():
+            ok = isinstance(g, dict) and (
+                g.get("value") is None or isinstance(g.get("value"), (int, float))
+            )
+            if not ok:
+                errors.append(f"gauge {name!r} must carry a numeric or null value")
+        for name, s in doc["series"].items():
+            if not (
+                isinstance(s, dict)
+                and isinstance(s.get("window"), int)
+                and s["window"] >= 1
+                and isinstance(s.get("buckets"), list)
+            ):
+                errors.append(f"series {name!r} must carry window >= 1 and a bucket list")
+                continue
+            for b in s["buckets"]:
+                if not (
+                    isinstance(b, dict)
+                    and {"start", "count", "sum", "min", "max"} <= set(b)
+                ):
+                    errors.append(f"series {name!r} has a malformed bucket: {b!r}")
+                    break
+        for name, h in doc["histograms"].items():
+            ok = (
+                isinstance(h, dict)
+                and isinstance(h.get("bin_width"), int)
+                and h["bin_width"] >= 1
+                and isinstance(h.get("counts"), dict)
+                and all(
+                    isinstance(v, int) and v >= 0 for v in h["counts"].values()
+                )
+            )
+            if not ok:
+                errors.append(f"histogram {name!r} must carry bin_width >= 1 and int counts")
+    if errors:
+        raise TelemetryError(
+            "metrics document violates the schema:\n  " + "\n  ".join(errors)
+        )

@@ -92,6 +92,47 @@ class TestPerformanceDoc:
             exec(compile(block, f"PERFORMANCE-snippet-{i}", "exec"), {})
 
 
+class TestObservabilityDoc:
+    PATH = os.path.join(ROOT, "docs", "OBSERVABILITY.md")
+
+    def test_exists_and_is_cross_linked(self):
+        assert os.path.exists(self.PATH)
+        for doc in (
+            "README.md",
+            os.path.join("docs", "ARCHITECTURE.md"),
+            os.path.join("docs", "PERFORMANCE.md"),
+        ):
+            with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+                assert "OBSERVABILITY.md" in f.read(), f"{doc} must link the guide"
+
+    def test_covers_the_contract(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        for term in (
+            # metrics schema
+            "repro.telemetry/v1", "counters", "gauges", "series",
+            "histograms", "validate_metrics",
+            # trace event reference + Perfetto howto
+            "pkt_inject", "hop", "pkt_eject", "link_error",
+            "ui.perfetto.dev", "chrome://tracing", "trace.json",
+            # heatmaps, probes, CLI, overhead table
+            "heatmap_csv", "add_probe", "python -m repro report",
+            "report-smoke", "bench_s2_telemetry_overhead",
+        ):
+            assert term in text, term
+
+    def test_has_an_overhead_table(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        assert "| telemetry off" in text and "| full suite" in text
+
+    def test_every_python_block_runs(self):
+        blocks = extract_python_blocks(self.PATH)
+        assert len(blocks) >= 2, "the guide promises runnable snippets"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"OBSERVABILITY-snippet-{i}", "exec"), {})
+
+
 class TestExperimentsDoc:
     def test_mentions_every_figure(self):
         with open(os.path.join(ROOT, "EXPERIMENTS.md"), encoding="utf-8") as f:

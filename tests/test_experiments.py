@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.flow.runner import CACHE_VERSION, ExperimentRunner
 from repro.network.experiments import (
     LoadPoint,
+    TopologyNocBuilder,
     load_sweep,
     render_sweep,
     saturation_rate,
@@ -63,6 +65,34 @@ class TestLoadSweep:
         b = load_sweep(small_builder(), [0.05], warmup_cycles=100,
                        measure_cycles=500, seed=9)
         assert a == b
+
+
+class TestManifests:
+    def test_inline_sweep_attaches_timed_manifests(self):
+        pts = load_sweep(small_builder(), [0.02], warmup_cycles=100,
+                         measure_cycles=300)
+        m = pts[0].manifest
+        assert m is not None
+        assert m.cached is False and m.seconds > 0
+        assert m.key == ""  # inline points have no cache identity
+
+    def test_runner_sweep_manifests_surface_cache_state(self, tmp_path):
+        import repro
+
+        builder = TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2)
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        first = load_sweep(builder, [0.05], warmup_cycles=100,
+                           measure_cycles=300, runner=runner)
+        m1 = first[0].manifest
+        assert m1.cached is False and m1.key and m1.seconds > 0
+        assert m1.repro_version == repro.__version__
+        assert m1.cache_version == CACHE_VERSION
+        second = load_sweep(builder, [0.05], warmup_cycles=100,
+                            measure_cycles=300, runner=runner)
+        m2 = second[0].manifest
+        assert m2.cached is True and m2.key == m1.key and m2.seconds == 0.0
+        # Provenance rides along without breaking point equality.
+        assert second[0] == first[0]
 
 
 class TestHelpers:

@@ -19,3 +19,29 @@ class TestTopLevelCli:
         out = capsys.readouterr().out
         assert "200 transactions" in out
         assert "pJ/transaction" in out
+
+
+class TestReportCommand:
+    def test_report_writes_and_validates_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "rep"
+        assert main([
+            "report", "--out", str(out_dir), "--cycles", "500", "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "all artifacts valid" in out
+        for name in ("metrics.json", "trace.json", "heatmap.txt", "heatmap.csv"):
+            assert (out_dir / name).exists(), name
+
+    def test_report_honours_mesh_and_window(self, tmp_path, capsys):
+        out_dir = tmp_path / "rep"
+        assert main([
+            "report", "--out", str(out_dir), "--mesh", "3x2",
+            "--cycles", "400", "--window", "50", "--check",
+        ]) == 0
+        heatmap = (out_dir / "heatmap.txt").read_text()
+        assert "windows of 50 cycles" in heatmap
+        assert "3x2 mesh" in capsys.readouterr().out
+
+    def test_report_rejects_malformed_mesh(self, capsys):
+        assert main(["report", "--mesh", "banana"]) == 2
+        assert "--mesh" in capsys.readouterr().err

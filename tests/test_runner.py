@@ -6,7 +6,12 @@ import functools
 
 import pytest
 
-from repro.flow.runner import CACHE_VERSION, ExperimentRunner, stable_repr
+from repro.flow.runner import (
+    CACHE_VERSION,
+    ExperimentRunner,
+    RunManifest,
+    stable_repr,
+)
 from repro.network.topology import mesh
 
 
@@ -92,6 +97,43 @@ class TestCache:
         sequential = ExperimentRunner(cache_dir=str(tmp_path))
         assert sequential.map(_square, [1, 2, 3]) == [1, 4, 9]
         assert sequential.cache_hits == 3
+
+
+class TestManifests:
+    def test_map_records_one_manifest_per_point_in_order(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        runner.map(_square, [3, 4])
+        assert len(runner.last_manifests) == 2
+        assert [m.cached for m in runner.last_manifests] == [False, False]
+        keys = [m.key for m in runner.last_manifests]
+        assert keys[0] != keys[1]
+        runner.map(_square, [3, 4])
+        assert [m.cached for m in runner.last_manifests] == [True, True]
+        assert [m.key for m in runner.last_manifests] == keys
+        assert all(m.seconds == 0.0 for m in runner.last_manifests)
+
+    def test_manifest_pins_library_state(self):
+        import repro
+
+        runner = ExperimentRunner()
+        runner.map(_square, [2])
+        m = runner.last_manifests[0]
+        assert m.repro_version == repro.__version__
+        assert m.cache_version == CACHE_VERSION
+        assert m.seconds >= 0.0
+
+    def test_manifests_reset_per_map_call(self):
+        runner = ExperimentRunner()
+        runner.map(_square, [1, 2, 3])
+        runner.map(_square, [9])
+        assert len(runner.last_manifests) == 1
+
+    def test_parallel_map_still_manifests_in_order(self, tmp_path):
+        runner = ExperimentRunner(jobs=2, cache_dir=str(tmp_path))
+        runner.map(_square, [1, 2, 3])
+        assert len(runner.last_manifests) == 3
+        assert all(isinstance(m, RunManifest) for m in runner.last_manifests)
+        assert all(not m.cached for m in runner.last_manifests)
 
 
 class TestFromEnv:

@@ -41,6 +41,24 @@ class TestLatencySampler:
         with pytest.raises(KeyError):
             s.finish("ghost", 3)
 
+    def test_finish_unknown_token_error_is_descriptive(self):
+        s = LatencySampler("ni.pkt_latency")
+        s.start("open", 0)
+        with pytest.raises(KeyError, match=r"ni\.pkt_latency.*'ghost'.*1 token"):
+            s.finish("ghost", 3)
+
+    def test_discard_forgets_without_recording(self):
+        s = LatencySampler()
+        s.start("a", 0)
+        assert s.discard("a") is True
+        assert s.outstanding == 0
+        assert s.samples == []
+        with pytest.raises(KeyError, match="discarded"):
+            s.finish("a", 5)
+
+    def test_discard_unknown_token_is_false(self):
+        assert LatencySampler().discard("never-started") is False
+
     def test_mean_min_max(self):
         s = LatencySampler()
         for i, (b, e) in enumerate([(0, 10), (0, 20), (0, 30)]):

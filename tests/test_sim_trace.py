@@ -58,3 +58,52 @@ class TestTextTracer:
     def test_component_without_sim_traces_silently(self):
         c = Chatty("orphan")
         c.tick(0)  # no simulator bound; trace is a no-op
+
+
+class TestGoldenFormat:
+    """The text stream format is an interface: tools parse these lines."""
+
+    def test_stream_lines_match_golden(self):
+        buf = io.StringIO()
+        tracer = TextTracer(stream=buf)
+        sim = Simulator(tracer)
+        sim.add(Chatty("core0"))
+        sim.run(2)
+        golden = (
+            "[       0] core0                    tick             value=0\n"
+            "[       1] core0                    tick             value=2\n"
+        )
+        assert buf.getvalue() == golden
+
+    def test_multiple_fields_space_separated_in_order(self):
+        class Multi(Component):
+            def tick(self, cycle):
+                self.trace(cycle, "hop", pkt=7, wait=cycle)
+
+        buf = io.StringIO()
+        tracer = TextTracer(stream=buf)
+        sim = Simulator(tracer)
+        sim.add(Multi("sw"))
+        sim.run(1)
+        assert buf.getvalue().rstrip().endswith("pkt=7 wait=0")
+
+
+class TestMidRunAttach:
+    def test_tracer_attached_mid_run_sees_only_later_events(self):
+        sim = Simulator()  # starts with the NullTracer
+        sim.add(Chatty("c"))
+        sim.run(3)
+        tracer = TextTracer()
+        sim.tracer = tracer
+        sim.run(2)
+        assert [e[0] for e in tracer.events] == [3, 4]
+        assert tracer.events[0][3] == {"value": 6}
+
+    def test_tracer_swap_back_to_null(self):
+        tracer = TextTracer()
+        sim = Simulator(tracer)
+        sim.add(Chatty("c"))
+        sim.run(2)
+        sim.tracer = NullTracer()
+        sim.run(5)
+        assert len(tracer.events) == 2

@@ -1,0 +1,429 @@
+"""The unified telemetry layer: registry, lifecycle traces, heatmaps.
+
+See docs/OBSERVABILITY.md for the contracts exercised here: the
+``repro.telemetry/v1`` metrics schema, the four lifecycle trace events
+and their Chrome trace-event export, the per-link utilization heatmap,
+and the one-call :class:`~repro.telemetry.noc.NocTelemetry` attachment.
+"""
+
+import json
+
+import pytest
+
+from repro.network.noc import Noc, NocBuildConfig
+from repro.network.topology import attach_round_robin, mesh
+from repro.network.traffic import UniformRandomTraffic
+from repro.core.config import LinkConfig
+from repro.sim.trace import TextTracer
+from repro.telemetry import (
+    SCHEMA,
+    LifecycleCollector,
+    LinkUtilizationSeries,
+    MetricsRegistry,
+    NocTelemetry,
+    TelemetryError,
+    chrome_trace_events,
+    enable_lifecycle,
+    heatmap_csv,
+    render_heatmap,
+    validate_metrics,
+    write_chrome_trace,
+)
+
+
+def tiny_noc(config=None, rate=0.1, max_transactions=20):
+    topo = mesh(2, 2)
+    cpus, mems = attach_round_robin(topo, 2, 2)
+    noc = Noc(topo, config)
+    noc.populate(
+        {c: UniformRandomTraffic(mems, rate, seed=i) for i, c in enumerate(cpus)},
+        max_transactions=max_transactions,
+    )
+    return noc
+
+
+# ---------------------------------------------------------------------------
+# MetricsRegistry
+# ---------------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_counts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(TelemetryError, match="negative"):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_callback_reads_live(self):
+        reg = MetricsRegistry()
+        state = {"v": 1}
+        g = reg.gauge("depth", fn=lambda: state["v"])
+        state["v"] = 42
+        assert g.value == 42
+
+    def test_gauge_set_vs_callback(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("manual")
+        g.set(2.5)
+        assert g.value == 2.5
+        backed = reg.gauge("backed", fn=lambda: 1)
+        with pytest.raises(TelemetryError, match="callback-backed"):
+            backed.set(3)
+
+    def test_gauge_nonfinite_exports_null(self):
+        reg = MetricsRegistry()
+        reg.gauge("inf", fn=lambda: float("inf"))
+        doc = reg.to_dict()
+        assert doc["gauges"]["inf"]["value"] is None
+        validate_metrics(doc)
+
+    def test_series_windows_observations(self):
+        reg = MetricsRegistry()
+        s = reg.series("util", window=10)
+        s.observe(3, 1.0)
+        s.observe(7, 3.0)
+        s.observe(15, 5.0)
+        assert [b["start"] for b in s.buckets] == [0, 10]
+        assert s.buckets[0] == {"start": 0, "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+
+    def test_series_rejects_time_travel(self):
+        s = MetricsRegistry().series("s", window=10)
+        s.observe(25, 1.0)
+        with pytest.raises(TelemetryError, match="older"):
+            s.observe(3, 1.0)
+
+    def test_histogram_bins_and_clear(self):
+        h = MetricsRegistry().histogram("lat", bin_width=10)
+        for v in (4, 14, 17, 99):
+            h.observe(v)
+        assert h.counts == {0: 1, 10: 2, 90: 1}
+        assert h.observations == 4
+        h.clear()
+        assert h.counts == {} and h.observations == 0
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("x")
+
+    def test_export_document_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.series("s").observe(0, 1.0)
+        reg.histogram("h").observe(12)
+        doc = reg.to_dict(sim_cycles=99)
+        assert doc["schema"] == SCHEMA
+        assert doc["sim_cycles"] == 99
+        assert set(doc["counters"]) == {"c"}
+        assert set(doc["histograms"]["h"]["counts"]) == {"10"}
+        validate_metrics(doc)
+        json.loads(reg.to_json(sim_cycles=99))  # round-trips as JSON
+
+
+class TestValidateMetrics:
+    def valid(self):
+        return MetricsRegistry().to_dict(sim_cycles=1)
+
+    def test_accepts_valid(self):
+        validate_metrics(self.valid())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TelemetryError, match="object"):
+            validate_metrics([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        doc = self.valid()
+        doc["schema"] = "other/v9"
+        with pytest.raises(TelemetryError, match="schema"):
+            validate_metrics(doc)
+
+    def test_rejects_negative_counter(self):
+        doc = self.valid()
+        doc["counters"]["bad"] = {"value": -3, "help": ""}
+        with pytest.raises(TelemetryError, match="non-negative"):
+            validate_metrics(doc)
+
+    def test_rejects_malformed_series_bucket(self):
+        doc = self.valid()
+        doc["series"]["bad"] = {"window": 10, "buckets": [{"start": 0}]}
+        with pytest.raises(TelemetryError, match="bucket"):
+            validate_metrics(doc)
+
+    def test_reports_every_violation(self):
+        doc = self.valid()
+        doc["version"] = 7
+        doc["sim_cycles"] = "many"
+        with pytest.raises(TelemetryError) as err:
+            validate_metrics(doc)
+        assert "version" in str(err.value) and "sim_cycles" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle tracing
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def traced_noc(self, config=None, cycles=600):
+        noc = tiny_noc(config)
+        collector = LifecycleCollector()
+        noc.sim.tracer = collector
+        assert enable_lifecycle(noc) > 0
+        noc.run(cycles)
+        return noc, collector
+
+    def test_collector_retains_only_lifecycle_events(self):
+        noc, col = self.traced_noc()
+        names = {e[2] for e in col.events}
+        assert names <= {"pkt_inject", "hop", "pkt_eject", "link_error"}
+        assert {"pkt_inject", "hop", "pkt_eject"} <= names
+
+    def test_at_least_one_packet_has_full_lifecycle(self):
+        noc, col = self.traced_noc()
+        injected = {e[3]["pkt"] for e in col.events if e[2] == "pkt_inject"}
+        hopped = {e[3]["pkt"] for e in col.events if e[2] == "hop"}
+        ejected = {e[3]["pkt"] for e in col.events if e[2] == "pkt_eject"}
+        assert injected & hopped & ejected
+
+    def test_hop_wait_is_arbitration_delay(self):
+        noc, col = self.traced_noc()
+        hops = [e for e in col.events if e[2] == "hop"]
+        assert hops
+        for cycle, source, _, fields in hops:
+            assert fields["wait"] == cycle - fields["arrival"] >= 0
+
+    def test_eject_latency_positive(self):
+        noc, col = self.traced_noc()
+        ejects = [e for e in col.events if e[2] == "pkt_eject"]
+        assert ejects and all(e[3]["latency"] > 0 for e in ejects)
+
+    def test_inner_tracer_still_sees_everything(self):
+        noc = tiny_noc()
+        inner = TextTracer()
+        noc.sim.tracer = LifecycleCollector(inner=inner)
+        enable_lifecycle(noc)
+        noc.run(400)
+        assert len(inner.events) >= len(noc.sim.tracer.events)
+        assert inner.of(event="pkt_inject")
+
+    def test_limit_bounds_memory(self):
+        noc = tiny_noc()
+        col = LifecycleCollector(limit=5)
+        noc.sim.tracer = col
+        enable_lifecycle(noc)
+        noc.run(600)
+        assert len(col.events) == 5 and col.dropped > 0
+
+    def test_disabled_by_default(self):
+        noc = tiny_noc()
+        col = LifecycleCollector()
+        noc.sim.tracer = col
+        noc.run(300)  # lifecycle never enabled
+        assert col.events == []
+
+    def test_link_errors_traced(self):
+        noc, col = self.traced_noc(
+            NocBuildConfig(link=LinkConfig(error_rate=0.05))
+        )
+        assert any(e[2] == "link_error" for e in col.events)
+
+
+class TestChromeTraceExport:
+    def events(self):
+        noc = tiny_noc()
+        col = LifecycleCollector()
+        noc.sim.tracer = col
+        enable_lifecycle(noc)
+        noc.run(600)
+        return col.events
+
+    def test_packet_spans_present(self):
+        out = chrome_trace_events(self.events())
+        spans = [e for e in out if e.get("cat") == "packet"]
+        assert spans
+        complete = [
+            e for e in spans if "src" in e["args"] and "ejected_by" in e["args"]
+        ]
+        assert complete
+        for e in complete:
+            assert e["ph"] == "X" and e["dur"] >= 0
+            assert e["tid"] == e["args"]["pkt"]
+
+    def test_hop_and_link_spans_present(self):
+        out = chrome_trace_events(self.events())
+        assert any(e.get("cat") == "hop" for e in out)
+        assert any(e.get("cat") == "link" for e in out)
+
+    def test_metadata_names_processes_and_threads(self):
+        out = chrome_trace_events(self.events())
+        meta = [e for e in out if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_unknown_events_ignored(self):
+        out = chrome_trace_events([(0, "x", "weird", {"pkt": 1})])
+        assert all(e["ph"] == "M" for e in out)
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with path.open("w") as fh:
+            n = write_chrome_trace(fh, self.events(), metadata={"k": "v"})
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n > 0
+        assert doc["otherData"]["k"] == "v"
+        assert doc["otherData"]["time_unit"] == "1 cycle = 1us"
+
+
+# ---------------------------------------------------------------------------
+# Heatmaps
+# ---------------------------------------------------------------------------
+class TestLinkUtilization:
+    def sampled(self, window=50, cycles=400):
+        noc = tiny_noc()
+        series = LinkUtilizationSeries(noc, window=window)
+        noc.run(cycles)
+        series.finalize()
+        return noc, series
+
+    def test_one_row_per_link(self):
+        noc, series = self.sampled()
+        assert set(series.rows) == {l.name for l in noc.links}
+
+    def test_windows_cover_the_run(self):
+        noc, series = self.sampled(window=50, cycles=400)
+        assert len(series.window_starts) == 8
+        assert series.window_starts[0] == 0
+
+    def test_utilization_bounded(self):
+        noc, series = self.sampled()
+        for vals in series.rows.values():
+            assert all(0.0 <= v <= 1.0 for v in vals)
+
+    def test_totals_match_link_counters(self):
+        noc, series = self.sampled(window=50, cycles=400)
+        for link in noc.links:
+            accounted = sum(
+                v * span
+                for v, span in zip(
+                    series.rows[link.name],
+                    [50] * (len(series.window_starts)),
+                )
+            )
+            assert accounted == pytest.approx(link.flits_carried)
+
+    def test_finalize_idempotent(self):
+        noc, series = self.sampled()
+        before = len(series.window_starts)
+        series.finalize()
+        assert len(series.window_starts) == before
+
+    def test_render_and_csv(self):
+        noc, series = self.sampled()
+        text = render_heatmap(series, top=3)
+        assert "windows" in text and text.count("|") == 2 * 3
+        csv = heatmap_csv(series)
+        lines = csv.strip().splitlines()
+        assert len(lines) == len(noc.links) + 1
+        header_cols = lines[0].split(",")
+        for line in lines[1:]:
+            cells = line.split(",")
+            assert len(cells) == len(header_cols)
+            assert all(0.0 <= float(x) <= 1.0 for x in cells[1:])
+
+    def test_registry_mirror(self):
+        noc = tiny_noc()
+        reg = MetricsRegistry()
+        series = LinkUtilizationSeries(noc, window=50, registry=reg)
+        noc.run(200)
+        series.finalize()
+        name = f"link.{noc.links[0].name}.utilization"
+        assert name in reg
+        validate_metrics(reg.to_dict(sim_cycles=noc.sim.cycle))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            LinkUtilizationSeries(tiny_noc(), window=0)
+
+
+# ---------------------------------------------------------------------------
+# The one-call attachment layer
+# ---------------------------------------------------------------------------
+class TestNocTelemetry:
+    def test_snapshot_validates_and_covers_components(self):
+        noc = tiny_noc()
+        telem = NocTelemetry(noc)
+        noc.run_until_drained(max_cycles=500_000)
+        doc = telem.snapshot()
+        validate_metrics(doc)
+        assert doc["sim_cycles"] == noc.sim.cycle
+        assert doc["gauges"]["noc.transactions_completed"]["value"] == 40
+        assert any(k.startswith("switch.") for k in doc["gauges"])
+        assert any(k.startswith("queue.") for k in doc["gauges"])
+        assert doc["histograms"]["latency.network"]["counts"]
+
+    def test_snapshot_is_repeatable(self):
+        noc = tiny_noc()
+        telem = NocTelemetry(noc)
+        noc.run(300)
+        first = telem.snapshot()
+        second = telem.snapshot()
+        assert first == second
+
+    def test_write_produces_all_artifacts(self, tmp_path):
+        noc = tiny_noc()
+        telem = NocTelemetry(noc)
+        noc.run(600)
+        paths = telem.write(tmp_path / "out")
+        assert sorted(p.name for p in paths.values()) == [
+            "heatmap.csv", "heatmap.txt", "metrics.json", "trace.json",
+        ]
+        validate_metrics(json.loads(paths["metrics"].read_text()))
+        trace = json.loads(paths["trace"].read_text())
+        assert any(
+            e.get("cat") == "packet" and "ejected_by" in e.get("args", {})
+            for e in trace["traceEvents"]
+        )
+        assert "heatmap" in paths["heatmap_txt"].read_text()
+
+    def test_chains_existing_tracer(self):
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        inner = TextTracer()
+        noc = Noc(topo, tracer=inner)
+        telem = NocTelemetry(noc)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.1, seed=i) for i, c in enumerate(cpus)},
+            max_transactions=5,
+        )
+        noc.run(300)
+        assert telem.collector.inner is inner
+        assert inner.events  # the debug tracer still records
+
+    def test_does_not_perturb_results(self):
+        plain = tiny_noc()
+        plain.run(500)
+        observed = tiny_noc()
+        NocTelemetry(observed)
+        observed.run(500)
+        assert observed.stats_digest() == plain.stats_digest()
+
+
+class TestCreditModeCompat:
+    def test_telemetry_attaches_to_credit_noc(self):
+        noc = tiny_noc(NocBuildConfig(flow_control="credit"))
+        telem = NocTelemetry(noc)
+        noc.run_until_drained(max_cycles=500_000)
+        doc = telem.snapshot()
+        validate_metrics(doc)
+        # Credit-mode switches expose no output queues; occupancy stats
+        # are simply absent rather than wrong.
+        assert not any(k.startswith("queue.") for k in doc["gauges"])
+        assert len(telem.collector.events) > 0
