@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke
+bench-smoke: report-smoke faults-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 
 # Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
@@ -25,3 +25,9 @@ bench-smoke: report-smoke
 report-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro report \
 		--out .report-smoke --mesh 2x2 --cycles 600 --check
+
+# Resilience pulse-check: a tiny deterministic fault campaign that must
+# recover, plus a dead link with no recovery armed that the progress
+# watchdog must catch instead of hanging.  See docs/RESILIENCE.md.
+faults-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro faults --smoke

@@ -7,6 +7,8 @@ Usage::
     python -m repro mesh-case-study   # the paper's 2.6 mm2 headline
     python -m repro figures           # regenerate every paper figure
     python -m repro report --out DIR  # run a scenario with telemetry
+    python -m repro faults            # fault-injection campaign demo
+    python -m repro faults --smoke    # deterministic resilience smoke
 
 ``figures`` accepts ``--jobs N`` (run sweep points on N worker
 processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
@@ -21,6 +23,15 @@ trace-event format -- load it in https://ui.perfetto.dev or
 utilization).  Options: ``--mesh WxH``, ``--cycles N``, ``--rate R``,
 ``--window W`` (heatmap window), ``--check`` (re-read and validate
 every artifact; exit non-zero on any violation).
+
+``faults`` runs a small fault-injection campaign on a 2x2 mesh
+(baseline, burst, stuck-at, dead link with recovery armed -- see
+docs/RESILIENCE.md) and prints the campaign table.  ``--smoke`` runs
+the tiny deterministic resilience check instead: a faulted campaign
+that must complete AND a dead-link scenario with no recovery armed that
+the progress watchdog must catch; exits non-zero if either expectation
+fails (wired into ``make faults-smoke`` / ``make bench-smoke``).
+``--jobs``/``--cache`` apply like they do for ``figures``.
 """
 
 from __future__ import annotations
@@ -94,7 +105,9 @@ def _figures(jobs: int = 1, cache: "str | None" = None) -> int:
         os.environ["REPRO_JOBS"] = str(jobs)
     if cache:
         os.environ["REPRO_CACHE"] = cache
-    return pytest.main(["benchmarks/", "--benchmark-only", "-q"])
+    # "slow" marks the dense resilience sweeps; the committed figures
+    # come from the regular-size runs.
+    return pytest.main(["benchmarks/", "--benchmark-only", "-q", "-m", "not slow"])
 
 
 def _check_report(paths) -> "list[str]":
@@ -186,6 +199,90 @@ def _report(
     return 0
 
 
+def _faults(smoke: bool = False, jobs: int = 1, cache: "str | None" = None) -> int:
+    from repro.faults import CampaignSpec, FaultCampaign, FaultWindow, render_campaign
+    from repro.flow.runner import ExperimentRunner
+    from repro.network.experiments import TopologyNocBuilder
+    from repro.network.noc import NocBuildConfig
+    from repro.network.topology import mesh
+
+    plain = TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2)
+    # Same fabric with the recovery machinery armed: NI transaction
+    # timeouts with one retry, plus the go-back-N sender resync timer.
+    hardened = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(
+            ni_txn_timeout=300, ni_txn_retries=1, link_resync_timeout=40
+        ),
+    )
+    east = "link.sw_0_0.p*"  # everything leaving the corner switch
+
+    if smoke:
+        # Expectation 1: a faulted campaign still completes traffic.
+        healthy = CampaignSpec(
+            builder=hardened,
+            windows=(
+                FaultWindow(east, start=100, duration=200, error_rate=0.3),
+                FaultWindow(east, start=400, duration=150, mode="dead"),
+            ),
+            rate=0.05, warmup_cycles=100, measure_cycles=1200,
+            watchdog_horizon=2000, label="smoke-recovers",
+        )
+        # Expectation 2: a dead link with NO recovery armed must be
+        # caught by the watchdog, not hang the simulation.
+        wedged = CampaignSpec(
+            builder=plain,
+            windows=(FaultWindow(east, start=100, duration=10_000, mode="dead"),),
+            rate=0.05, warmup_cycles=100, measure_cycles=5000,
+            watchdog_horizon=600, label="smoke-wedged",
+        )
+        results = FaultCampaign([healthy, wedged]).run()
+        print(render_campaign(results))
+        ok = True
+        if results[0].no_progress or results[0].completed <= 0:
+            print("SMOKE FAILED: recovery campaign did not complete", file=sys.stderr)
+            ok = False
+        if results[0].errors_injected <= 0 and results[0].flits_dropped <= 0:
+            print("SMOKE FAILED: no faults actually landed", file=sys.stderr)
+            ok = False
+        if not results[1].no_progress:
+            print(
+                "SMOKE FAILED: watchdog did not catch the dead link",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(f"\nwatchdog diagnosis:\n{results[1].diagnosis}")
+        return 0 if ok else 1
+
+    runner = (
+        ExperimentRunner(jobs=jobs, cache_dir=cache)
+        if jobs > 1 or cache
+        else None
+    )
+    specs = [
+        CampaignSpec(builder=plain, rate=0.05, label="baseline"),
+        CampaignSpec(
+            builder=plain,
+            windows=(FaultWindow(east, start=400, duration=800, error_rate=0.3),),
+            rate=0.05, label="burst 0.3",
+        ),
+        CampaignSpec(
+            builder=plain,
+            windows=(FaultWindow(east, start=400, duration=300, mode="stuck"),),
+            rate=0.05, label="stuck 300cyc",
+        ),
+        CampaignSpec(
+            builder=hardened,
+            windows=(FaultWindow(east, start=400, duration=400, mode="dead"),),
+            rate=0.05, label="dead 400cyc +recovery",
+        ),
+    ]
+    results = FaultCampaign(specs, runner=runner).run()
+    print(render_campaign(results))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,7 +291,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["info", "demo", "mesh-case-study", "figures", "report"],
+        choices=["info", "demo", "mesh-case-study", "figures", "report", "faults"],
         nargs="?",
         default="info",
     )
@@ -253,9 +350,18 @@ def main(argv=None) -> int:
         help="report: re-read and validate every artifact, exit non-zero "
         "on violations",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="faults: run the tiny deterministic resilience check "
+        "(one recovering campaign + one watchdog catch), exit non-zero "
+        "if either expectation fails",
+    )
     args = parser.parse_args(argv)
     if args.command == "figures":
         return _figures(jobs=args.jobs, cache=args.cache)
+    if args.command == "faults":
+        return _faults(smoke=args.smoke, jobs=args.jobs, cache=args.cache)
     if args.command == "report":
         return _report(
             out=args.out,

@@ -151,6 +151,13 @@ class NiConfig:
     ``enforce_thread_order`` adds the OCP resequencing buffer: responses
     are delivered to the master in per-thread issue order even when
     different targets answer out of order.
+
+    ``txn_timeout`` arms end-to-end transaction timeouts in the
+    initiator NI: a non-posted transaction with no response after that
+    many cycles is retransmitted up to ``txn_retries`` times, then
+    completed toward the master with ``SResp.ERR`` -- the master
+    *reports* a lost transaction instead of hanging on it (see
+    docs/RESILIENCE.md).  Disabled (``None``) by default.
     """
 
     params: NocParameters = field(default_factory=NocParameters)
@@ -158,9 +165,15 @@ class NiConfig:
     max_outstanding: int = 4
     posted_writes: bool = False
     enforce_thread_order: bool = False
+    txn_timeout: "int | None" = None
+    txn_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.buffer_depth < 2:
             raise ValueError("NI buffer depth must be >= 2")
         if self.max_outstanding < 1:
             raise ValueError("max_outstanding must be >= 1")
+        if self.txn_timeout is not None and self.txn_timeout < 1:
+            raise ValueError("txn_timeout must be >= 1 cycle (or None)")
+        if self.txn_retries < 0:
+            raise ValueError("txn_retries must be >= 0")

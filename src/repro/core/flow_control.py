@@ -55,30 +55,58 @@ class GoBackNSender:
         window: int,
         name: str = "gbn-tx",
         codec: Optional[CrcCodec] = None,
+        resync_timeout: Optional[int] = None,
     ) -> None:
         if window < 3:
             raise ValueError("window must cover at least the minimal round trip (3)")
+        if resync_timeout is not None and resync_timeout < 3:
+            raise ValueError("resync_timeout must cover at least one round trip (3)")
         self.channel = channel
         self.window = window
         self.name = name
         self.codec = codec  # bit-accurate mode: CRC attached per flit
+        #: Optional lost-flit recovery: with flits in flight and the
+        #: reverse channel silent for this many cycles, rewind and
+        #: retransmit everything unacknowledged.  The base protocol
+        #: assumes flits always *arrive* (possibly corrupted, hence
+        #: NACKed); a link that drops flits outright -- the transient
+        #: dead links of :mod:`repro.faults` -- otherwise strands the
+        #: sender forever.  Must exceed the ACK round trip.
+        self.resync_timeout = resync_timeout
         self._buffer: List[Flit] = []  # unacked flits, oldest first
         self._send_ptr = 0  # next buffer index to (re)transmit
         self._next_seqno = 0
+        # Highest seqno transmitted since the last rewind: NACKs above
+        # it are echoes of stale in-flight flits, not of anything sent
+        # in the current go-back round (see on_cycle).
+        self._last_sent_seqno = -1
+        # Highest seqno ever transmitted: re-sending at or below it is,
+        # by definition, a retransmission.
+        self._max_seqno_sent = -1
+        self._quiet_cycles = 0
         # instrumentation
         self.sent_flits = 0
         self.retransmissions = 0
         self.acks_seen = 0
         self.nacks_seen = 0
+        self.nacks_ignored = 0
+        self.rewinds = 0
+        self.resyncs = 0
 
     def reset(self) -> None:
         self._buffer = []
         self._send_ptr = 0
         self._next_seqno = 0
+        self._last_sent_seqno = -1
+        self._max_seqno_sent = -1
+        self._quiet_cycles = 0
         self.sent_flits = 0
         self.retransmissions = 0
         self.acks_seen = 0
         self.nacks_seen = 0
+        self.nacks_ignored = 0
+        self.rewinds = 0
+        self.resyncs = 0
 
     # -- owner interface --------------------------------------------------
     def can_accept(self) -> bool:
@@ -108,8 +136,12 @@ class GoBackNSender:
         Weaker than :attr:`idle`: a window-full sender waiting on ACKs
         has flits in flight but nothing left to transmit, so its next
         state change can only come from the reverse wire -- which the
-        owner lists in its fast-path ``wake_inputs``.
+        owner lists in its fast-path ``wake_inputs``.  With a
+        :attr:`resync_timeout` armed the sender must keep ticking while
+        anything is unacknowledged: the timer itself is the state change.
         """
+        if self.resync_timeout is not None and self._buffer:
+            return False
         return self._send_ptr >= len(self._buffer)
 
     @property
@@ -120,6 +152,7 @@ class GoBackNSender:
         """Process one clock: consume ACK/NACK, transmit one flit."""
         ack = self.channel.peek_ack()
         if ack is not None:
+            self._quiet_cycles = 0
             if ack.is_ack:
                 self.acks_seen += 1
                 # ACKs arrive in order, one per accepted flit: release
@@ -129,14 +162,46 @@ class GoBackNSender:
                     self._send_ptr = max(0, self._send_ptr - 1)
             else:
                 self.nacks_seen += 1
-                # Go-back-N: rewind to the oldest unacknowledged flit.
-                if self._send_ptr > 0:
-                    self.retransmissions += self._send_ptr
+                # Go-back-N: rewind to the oldest unacknowledged flit --
+                # but only for flits of the *current* go-back round.  A
+                # single error on a deep link draws one NACK per stale
+                # in-flight flit (the receiver NACKs each out-of-order
+                # flit it drops); those echoes carry seqnos above
+                # anything sent since the last rewind and must not
+                # trigger further rewinds.  A repeat error on a
+                # retransmitted flit NACKs a seqno we *have* re-sent,
+                # so it still rewinds.
+                if self._send_ptr > 0 and ack.seqno <= self._last_sent_seqno:
+                    self.rewinds += 1
+                    self._send_ptr = 0
+                    self._last_sent_seqno = self._buffer[0].seqno - 1
+                else:
+                    self.nacks_ignored += 1
+        elif (
+            self.resync_timeout is not None
+            and self._buffer
+            and self._send_ptr >= len(self._buffer)
+        ):
+            # Everything transmitted, nothing heard back: if the link is
+            # dropping flits outright no NACK will ever arrive, so after
+            # a full timeout rewind and retransmit the window.
+            self._quiet_cycles += 1
+            if self._quiet_cycles >= self.resync_timeout:
+                self._quiet_cycles = 0
+                self.resyncs += 1
                 self._send_ptr = 0
+                self._last_sent_seqno = self._buffer[0].seqno - 1
         if self._send_ptr < len(self._buffer):
-            self.channel.send(self._buffer[self._send_ptr])
+            flit = self._buffer[self._send_ptr]
+            self.channel.send(flit)
             self._send_ptr += 1
             self.sent_flits += 1
+            self._quiet_cycles = 0
+            self._last_sent_seqno = flit.seqno
+            if flit.seqno <= self._max_seqno_sent:
+                self.retransmissions += 1
+            else:
+                self._max_seqno_sent = flit.seqno
 
 
 class GoBackNReceiver:

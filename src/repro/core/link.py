@@ -69,6 +69,13 @@ class Link(Component):
         self._depth = depth
         self.flits_carried = 0
         self.errors_injected = 0
+        self.flits_dropped = 0
+        # Transient fault overrides (see repro.faults.FaultInjector):
+        # unlike the immutable LinkConfig -- which rejects rate 1.0 --
+        # these model *fault windows*: stuck-at links (rate 1.0 for a
+        # spell) and dead links that drop flits outright.
+        self._fault_rate: Optional[float] = None
+        self._fault_drop = False
         #: Lifecycle telemetry (see :mod:`repro.telemetry.lifecycle`):
         #: when enabled, each injected error emits a ``link_error`` trace
         #: event so corrupted hops are visible in the exported timeline.
@@ -80,22 +87,64 @@ class Link(Component):
         self._bwd = deque([None] * self._depth)
         self.flits_carried = 0
         self.errors_injected = 0
+        self.flits_dropped = 0
+        self._fault_rate = None
+        self._fault_drop = False
+
+    # -- fault overrides ---------------------------------------------------
+    def set_fault(
+        self, error_rate: Optional[float] = None, drop: bool = False
+    ) -> None:
+        """Override the forward-path fault behaviour until cleared.
+
+        ``error_rate`` replaces the configured Bernoulli rate (1.0 ==
+        stuck-at: every flit corrupted); ``drop=True`` makes the link
+        swallow flits entirely -- a dead link, which the base ACK/NACK
+        protocol cannot recover from without a sender resync timeout or
+        an NI transaction timeout.
+        """
+        if error_rate is None and not drop:
+            raise ValueError("set_fault needs an error_rate or drop=True; "
+                             "use clear_fault() to remove an override")
+        if error_rate is not None and not (0.0 <= error_rate <= 1.0):
+            raise ValueError(f"fault error_rate must be in [0, 1], got {error_rate}")
+        self._fault_rate = error_rate
+        self._fault_drop = drop
+
+    def clear_fault(self) -> None:
+        self._fault_rate = None
+        self._fault_drop = False
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_drop or self._fault_rate is not None
 
     def _inject(self, flit: Optional[Flit], cycle: int) -> Optional[Flit]:
         if flit is None:
             return None
+        if self._fault_drop:
+            self.flits_dropped += 1
+            if self.lifecycle:
+                self.trace(cycle, "link_error", pkt=flit.packet_id, seq=flit.seqno,
+                           dropped=True)
+            return None
         self.flits_carried += 1
-        if self.config.error_rate > 0.0 and self._rng.random() < self.config.error_rate:
+        rate = self._fault_rate if self._fault_rate is not None else self.config.error_rate
+        if rate > 0.0 and self._rng.random() < rate:
             self.errors_injected += 1
             if self.lifecycle:
                 self.trace(cycle, "link_error", pkt=flit.packet_id, seq=flit.seqno)
             if self.config.bit_errors:
                 # Bit-accurate mode: flip one real bit (sometimes two --
                 # adjacent coupling faults); detection is the CRC's job.
+                # Coupling is physical adjacency, so a fault on the MSB
+                # pairs with its lower neighbour rather than wrapping to
+                # the LSB on the far side of the bus.
                 first = self._rng.randrange(flit.width)
                 positions = [first]
                 if self._rng.random() < 0.25 and flit.width > 1:
-                    positions.append((first + 1) % flit.width)
+                    second = first + 1 if first + 1 < flit.width else first - 1
+                    positions.append(second)
                 return flit.flip_bits(positions)
             return flit.corrupt()
         return flit

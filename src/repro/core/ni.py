@@ -95,6 +95,25 @@ class _BackEndTx:
         return not self._flits and self.sender.quiescent
 
 
+class _OutstandingTxn:
+    """Book-keeping for one non-posted transaction awaiting a response.
+
+    Carries the request packet so an armed transaction timeout can
+    retransmit it, the absolute deadline cycle, the remaining retry
+    budget, and how many times the request went onto the network
+    (``submissions`` -- used to budget stale late responses).
+    """
+
+    __slots__ = ("txn", "packet", "deadline", "retries_left", "submissions")
+
+    def __init__(self, txn, packet, deadline, retries_left):
+        self.txn = txn
+        self.packet = packet
+        self.deadline = deadline
+        self.retries_left = retries_left
+        self.submissions = 1
+
+
 class InitiatorNI(Component):
     """NI attached to an OCP master core (CPU, DSP, DMA...).
 
@@ -103,6 +122,15 @@ class InitiatorNI(Component):
     ACK/NACK receiver -> reassembly -> OCP response, matched to the
     oldest outstanding transaction for the same (target, thread) pair
     (the network delivers in order per path and per thread).
+
+    With ``config.txn_timeout`` set, each non-posted transaction is also
+    watched end to end: no response within the timeout retransmits the
+    request packet up to ``config.txn_retries`` times, after which the
+    master receives ``SResp.ERR`` instead of hanging forever.  Because
+    response matching is positional (no transaction id on the wire,
+    as in the reference design), a late response for a retried or
+    failed transaction is absorbed against a per-key stale budget
+    rather than raising a protocol error.
     """
 
     def __init__(
@@ -143,8 +171,11 @@ class InitiatorNI(Component):
         self._last_txn_id: Optional[int] = None
         # txn_id queues keyed by (target node id, thread id); response
         # packets identify their origin via header.src_id.
-        self._outstanding: Dict[Tuple[int, int], Deque[BurstTransaction]] = {}
+        self._outstanding: Dict[Tuple[int, int], Deque[_OutstandingTxn]] = {}
         self._outstanding_count = 0
+        # Late responses tolerated per key after retries/failures (the
+        # network has no txn id, so staleness is budgeted, not proven).
+        self._stale_budget: Dict[Tuple[int, int], int] = {}
         self._resp_queue: Deque[OcpResponse] = deque()
         self._sideband_queue: Deque[SidebandEvent] = deque()
         # OCP threading: per-thread issue order + resequencing buffer
@@ -155,6 +186,9 @@ class InitiatorNI(Component):
         self.transactions_issued = 0
         self.responses_delivered = 0
         self.interrupts_delivered = 0
+        self.transactions_retried = 0
+        self.transactions_failed = 0
+        self.stale_responses = 0
         #: Pure network latency: packet injection -> full reassembly,
         #: excluding OCP handshakes and memory service time.
         self.packet_latency = LatencySampler(f"{name}.pkt_latency")
@@ -171,6 +205,7 @@ class InitiatorNI(Component):
         self._last_txn_id = None
         self._outstanding.clear()
         self._outstanding_count = 0
+        self._stale_budget.clear()
         self._resp_queue.clear()
         self._sideband_queue.clear()
         self._thread_order.clear()
@@ -178,6 +213,9 @@ class InitiatorNI(Component):
         self.transactions_issued = 0
         self.responses_delivered = 0
         self.interrupts_delivered = 0
+        self.transactions_retried = 0
+        self.transactions_failed = 0
+        self.stale_responses = 0
 
     @property
     def idle(self) -> bool:
@@ -206,6 +244,10 @@ class InitiatorNI(Component):
     def is_quiescent(self) -> bool:
         # Outstanding transactions and half-reassembled packets wait on
         # the response wire; only locally-pending work forces a tick.
+        # An armed transaction timeout makes waiting itself stateful:
+        # the NI must tick to advance its deadlines.
+        if self.config.txn_timeout is not None and self._outstanding_count > 0:
+            return False
         return (
             self.tx.quiescent
             and not self._resp_queue
@@ -249,7 +291,15 @@ class InitiatorNI(Component):
             )
         local_ack = kind is PacketKind.WRITE_POSTED
         if not local_ack:
-            self._outstanding.setdefault((dest_id, txn.thread_id), deque()).append(txn)
+            deadline = (
+                cycle + self.config.txn_timeout
+                if self.config.txn_timeout is not None
+                else None
+            )
+            record = _OutstandingTxn(txn, packet, deadline, self.config.txn_retries)
+            self._outstanding.setdefault((dest_id, txn.thread_id), deque()).append(
+                record
+            )
             self._outstanding_count += 1
         self._last_txn_id = txn.txn_id
         self.ocp.accept_request(txn.txn_id)
@@ -283,12 +333,35 @@ class InitiatorNI(Component):
         key = (header.src_id, header.thread_id)
         pending = self._outstanding.get(key)
         if not pending:
+            if self._stale_budget.get(key, 0) > 0:
+                # Late response for a transaction we already retried or
+                # failed: absorb it instead of crying protocol error.
+                self._stale_budget[key] -= 1
+                self.stale_responses += 1
+                self.trace(cycle, "stale-response", src=header.src_id)
+                return
             raise NiProtocolError(
                 f"{self.name}: response from node {header.src_id} "
                 f"thread {header.thread_id} with nothing outstanding"
             )
-        txn = pending.popleft()
+        head = pending[0]
+        kind_mismatch = (
+            header.kind is PacketKind.READ_RESP and not head.txn.is_read
+        ) or (header.kind is PacketKind.WRITE_ACK and not head.txn.is_write)
+        if kind_mismatch and self._stale_budget.get(key, 0) > 0:
+            self._stale_budget[key] -= 1
+            self.stale_responses += 1
+            self.trace(cycle, "stale-response", src=header.src_id)
+            return
+        record = pending.popleft()
+        txn = record.txn
         self._outstanding_count -= 1
+        if record.submissions > 1:
+            # The request went out several times; the extra responses
+            # (if the network ever delivers them) are stale.
+            self._stale_budget[key] = (
+                self._stale_budget.get(key, 0) + record.submissions - 1
+            )
         if header.kind is PacketKind.READ_RESP and not txn.is_read:
             raise NiProtocolError(f"{self.name}: READ_RESP for a write (txn {txn.txn_id})")
         if header.kind is PacketKind.WRITE_ACK and not txn.is_write:
@@ -312,6 +385,58 @@ class InitiatorNI(Component):
         for order in self._thread_order.values():
             while order and order[0] in self._reorder:
                 self._resp_queue.append(self._reorder.pop(order.popleft()))
+
+    def _deliver_error(self, txn: BurstTransaction) -> None:
+        """Complete a given-up transaction toward the master as ERR."""
+        resp = OcpResponse(
+            txn_id=txn.txn_id, sresp=SResp.ERR, thread_id=txn.thread_id
+        )
+        if self.config.enforce_thread_order:
+            self._reorder[txn.txn_id] = resp
+        else:
+            self._resp_queue.append(resp)
+
+    def _check_timeouts(self, cycle: int) -> None:
+        """Retry or fail transactions whose response deadline passed.
+
+        Only the *head* of each (target, thread) queue is eligible: the
+        network delivers responses in order per key, so younger entries
+        cannot have been answered before the head and popping them out
+        of order would corrupt the positional matching.
+        """
+        for key, pending in self._outstanding.items():
+            if not pending:
+                continue
+            record = pending[0]
+            if record.deadline is None or cycle < record.deadline:
+                continue
+            if record.retries_left > 0:
+                if not self.tx.can_accept_packet():
+                    continue  # back end full: retry next cycle
+                record.retries_left -= 1
+                record.deadline = cycle + self.config.txn_timeout
+                record.submissions += 1
+                self.tx.submit(record.packet, cycle)
+                self.transactions_retried += 1
+                if self.lifecycle:
+                    self.trace(
+                        cycle, "pkt_inject", pkt=record.packet.packet_id,
+                        kind=record.packet.header.kind.name, dst=key[0],
+                        retry=True,
+                    )
+                self.trace(cycle, "txn-retry", txn=record.txn.txn_id, dst=key[0])
+            else:
+                pending.popleft()
+                self._outstanding_count -= 1
+                # Every submission may still produce a late response.
+                self._stale_budget[key] = (
+                    self._stale_budget.get(key, 0) + record.submissions
+                )
+                self.transactions_failed += 1
+                self._deliver_error(record.txn)
+                self.trace(
+                    cycle, "txn-timeout", txn=record.txn.txn_id, dst=key[0]
+                )
 
     def tick(self, cycle: int) -> None:
         # Front end: new OCP request?
@@ -344,6 +469,8 @@ class InitiatorNI(Component):
                         ),
                     )
                 self._handle_response_packet(packet, cycle)
+        if self.config.txn_timeout is not None:
+            self._check_timeouts(cycle)
         if self.config.enforce_thread_order:
             self._drain_reorder()
         # Front end: present the oldest completed response until accepted.

@@ -165,11 +165,11 @@ class Switch(Component):
 
     def is_quiescent(self) -> bool:
         # With every input wire idle, a tick moves nothing: all queues
-        # and delay pipes empty, every sender out of work.  (Plain loops
-        # with direct field access: this runs once per awake cycle.)
+        # and delay pipes empty, every sender out of work.  (The sender
+        # property also keeps resync-armed senders awake so their
+        # timeout counters tick; this runs once per awake cycle.)
         for o in self.outputs:
-            sender = o.sender
-            if not o.queue.is_empty or sender._send_ptr < len(sender._buffer):
+            if not o.queue.is_empty or not o.sender.quiescent:
                 return False
             for f in o.delay:
                 if f is not None:
@@ -188,7 +188,7 @@ class Switch(Component):
             if (
                 port.queue.is_empty
                 and not port.delay
-                and sender._send_ptr >= len(sender._buffer)
+                and sender.quiescent
                 and sender.channel.backward.value is None
             ):
                 # Nothing queued, nothing to (re)transmit, no ACK to

@@ -1,0 +1,184 @@
+"""Fault campaigns: resilience measurement as a repeatable experiment.
+
+A campaign is "run this workload on this NoC while this fault schedule
+plays out, and report what survived": accepted traffic, latency of what
+completed, how many transactions were retried or reported lost, and
+whether the network ever stopped making progress (caught by the
+:class:`~repro.faults.watchdog.ProgressWatchdog` rather than hanging
+the simulation).
+
+Specs are frozen dataclasses and :func:`run_campaign` is a module-level
+function, so campaigns plug into
+:class:`repro.flow.runner.ExperimentRunner` for process-parallel,
+disk-cached execution exactly like load sweeps do -- ``FaultCampaign``
+is the convenience wrapper, and ``python -m repro faults`` the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.injector import FaultInjector, FaultWindow
+from repro.faults.watchdog import NoProgressError, ProgressWatchdog
+from repro.flow.runner import ExperimentRunner, RunManifest
+from repro.network.experiments import TopologyNocBuilder
+from repro.network.traffic import UniformRandomTraffic
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fault-campaign run, fully described (picklable, hashable)."""
+
+    builder: TopologyNocBuilder
+    windows: Tuple[FaultWindow, ...] = ()
+    rate: float = 0.05
+    warmup_cycles: int = 200
+    measure_cycles: int = 2000
+    max_outstanding: int = 4
+    seed: int = 0
+    #: Arm a ProgressWatchdog with this horizon; ``None`` disables
+    #: (the campaign then relies on NI timeouts alone).
+    watchdog_horizon: Optional[int] = 2000
+    label: str = ""
+
+    def cache_token(self) -> str:
+        """Opt into ExperimentRunner disk caching (see stable_repr)."""
+        return "CampaignSpec"
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """What one campaign run observed."""
+
+    label: str
+    offered_rate: float
+    cycles_run: int
+    issued: int
+    completed: int
+    failed: int  # transactions reported lost (SResp.ERR)
+    retried: int
+    accepted_rate: float  # completed transactions per cycle, post-warmup
+    mean_latency: float
+    p95_latency: float
+    errors_injected: int
+    flits_dropped: int
+    retransmissions: int
+    windows_opened: int
+    no_progress: bool = False
+    no_progress_cycle: int = -1
+    diagnosis: str = ""
+    manifest: Optional[RunManifest] = field(default=None, compare=False)
+
+
+def _latency_stats(samples: Sequence[int]) -> Tuple[float, float]:
+    if not samples:
+        return 0.0, 0.0
+    ordered = sorted(samples)
+    mean = sum(ordered) / len(ordered)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * (len(ordered) - 1)))]
+    return mean, float(p95)
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Build, fault, run and measure one campaign (module-level so
+    ExperimentRunner worker processes can pickle it)."""
+    noc = spec.builder()
+    injector = FaultInjector(noc, spec.windows)
+    targets = list(noc.topology.targets)
+    patterns = {
+        ni: UniformRandomTraffic(targets, spec.rate, seed=spec.seed + 17 * i)
+        for i, ni in enumerate(noc.topology.initiators)
+    }
+    noc.populate(patterns, max_outstanding=spec.max_outstanding)
+    watchdog = (
+        ProgressWatchdog(noc, horizon=spec.watchdog_horizon)
+        if spec.watchdog_horizon is not None
+        else None
+    )
+
+    no_progress = False
+    no_progress_cycle = -1
+    diagnosis = ""
+    warm_completed = 0
+    warm_samples = 0
+    try:
+        noc.run(spec.warmup_cycles)
+        warm_completed = noc.total_completed()
+        warm_samples = len(noc.aggregate_latency().samples)
+        noc.run(spec.measure_cycles)
+    except NoProgressError as exc:
+        no_progress = True
+        no_progress_cycle = exc.cycle
+        diagnosis = exc.describe()
+    finally:
+        if watchdog is not None:
+            watchdog.detach()
+
+    cycles_run = noc.sim.cycle
+    measured = max(cycles_run - spec.warmup_cycles, 1)
+    completed = noc.total_completed()
+    samples = noc.aggregate_latency().samples[warm_samples:]
+    mean, p95 = _latency_stats(samples)
+    return CampaignResult(
+        label=spec.label or f"rate={spec.rate}",
+        offered_rate=spec.rate,
+        cycles_run=cycles_run,
+        issued=noc.total_issued(),
+        completed=completed,
+        failed=noc.total_transactions_failed(),
+        retried=noc.total_transactions_retried(),
+        accepted_rate=(completed - warm_completed) / measured,
+        mean_latency=mean,
+        p95_latency=p95,
+        errors_injected=noc.total_errors_injected(),
+        flits_dropped=noc.total_flits_dropped(),
+        retransmissions=noc.total_retransmissions(),
+        windows_opened=injector.windows_opened,
+        no_progress=no_progress,
+        no_progress_cycle=no_progress_cycle,
+        diagnosis=diagnosis,
+    )
+
+
+class FaultCampaign:
+    """A batch of campaign specs, optionally runner-accelerated."""
+
+    def __init__(
+        self,
+        specs: Sequence[CampaignSpec],
+        runner: Optional[ExperimentRunner] = None,
+    ) -> None:
+        self.specs = list(specs)
+        self.runner = runner
+
+    def run(self) -> List[CampaignResult]:
+        if self.runner is not None:
+            results = self.runner.map(run_campaign, self.specs, label="campaign")
+            # Same provenance surfacing as load_sweep: one manifest per
+            # point, in input order (cache key, hit/miss, wall time).
+            return [
+                dataclasses.replace(r, manifest=m)
+                for r, m in zip(results, self.runner.last_manifests)
+            ]
+        return [run_campaign(s) for s in self.specs]
+
+
+def render_campaign(results: Sequence[CampaignResult]) -> str:
+    """Printable table of campaign outcomes."""
+    lines = [
+        f"{'label':<22} {'acc/cyc':>8} {'mean':>7} {'p95':>6} "
+        f"{'fail':>5} {'retry':>6} {'errs':>6} {'drop':>6} {'rtx':>7}  note"
+    ]
+    for r in results:
+        note = (
+            f"NO PROGRESS @ {r.no_progress_cycle}" if r.no_progress else ""
+        )
+        lines.append(
+            f"{r.label:<22} {r.accepted_rate:>8.4f} {r.mean_latency:>7.1f} "
+            f"{r.p95_latency:>6.0f} {r.failed:>5} {r.retried:>6} "
+            f"{r.errors_injected:>6} {r.flits_dropped:>6} "
+            f"{r.retransmissions:>7}  {note}"
+        )
+    return "\n".join(lines)

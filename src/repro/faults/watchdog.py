@@ -1,0 +1,166 @@
+"""Runtime progress monitoring: turn hangs into diagnostics.
+
+:mod:`repro.network.deadlock` proves routing-level deadlock freedom at
+*design* time, but nothing guards *run* time: a deadlock-prone policy, a
+dead link with no recovery armed, or a starvation-prone arbitration can
+silently stall the simulation until ``run_until`` burns its whole cycle
+budget.  :class:`ProgressWatchdog` watches the network's global progress
+counters and raises a structured :class:`NoProgressError` -- carrying a
+per-switch/per-NI occupancy snapshot -- the moment no flit has been
+accepted anywhere and no transaction has completed for ``horizon``
+cycles while traffic is still outstanding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.network.monitors import occupancy_snapshot
+from repro.sim.kernel import SimulationError
+
+
+class NoProgressError(SimulationError):
+    """The network made no observable progress for a whole horizon.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle at which the watchdog gave up.
+    horizon:
+        The configured no-progress horizon (cycles).
+    snapshot:
+        :func:`repro.network.monitors.occupancy_snapshot` of the NoC at
+        detection time -- which queues hold flits, which senders wait on
+        ACKs, which masters still have transactions in flight.
+    """
+
+    def __init__(self, cycle: int, horizon: int, snapshot: Dict[str, object]) -> None:
+        self.cycle = cycle
+        self.horizon = horizon
+        self.snapshot = snapshot
+        super().__init__(self.describe())
+
+    def describe(self) -> str:
+        lines = [
+            f"no progress for {self.horizon} cycles (at cycle {self.cycle}) "
+            f"with traffic outstanding -- livelock, deadlock or lost flits"
+        ]
+        masters = self.snapshot.get("masters", {})
+        stuck = {
+            n: m for n, m in masters.items() if m.get("in_flight", 0) > 0
+        }
+        if stuck:
+            lines.append("  masters still waiting:")
+            for name, m in sorted(stuck.items()):
+                lines.append(
+                    f"    {name}: {m['in_flight']} in flight "
+                    f"({m['completed']}/{m['issued']} completed, "
+                    f"{m['failed']} failed)"
+                )
+        for name, sw in sorted(self.snapshot.get("switches", {}).items()):
+            depths = sw.get("queue_depths", [])
+            flights = sw.get("sender_in_flight", [])
+            if any(depths) or any(flights):
+                lines.append(
+                    f"  {name}: queues {depths}, unacked {flights}"
+                )
+        for name, ni in sorted(self.snapshot.get("nis", {}).items()):
+            busy = (
+                ni.get("outstanding", 0)
+                or ni.get("req_backlog", 0)
+                or ni.get("tx_in_flight", 0)
+            )
+            if busy:
+                fields = ", ".join(f"{k}={v}" for k, v in ni.items())
+                lines.append(f"  {name}: {fields}")
+        return "\n".join(lines)
+
+
+class ProgressWatchdog:
+    """Raises :class:`NoProgressError` when the NoC stops moving.
+
+    Progress is defined as any of: a flit accepted by any link-level
+    receiver, a response delivered to any master-side OCP port, or a
+    request served by any target.  The watchdog samples these counters
+    every ``check_interval`` cycles (a fraction of the horizon, so
+    detection lands within one horizon of the true stall) and trips when
+    they are all frozen for ``horizon`` consecutive cycles *while*
+    transactions are outstanding -- an idle network is not a stuck one.
+
+    Registered as a kernel watcher, which runs after every cycle in both
+    scheduling modes; the exception propagates out of ``sim.step()`` /
+    ``run_until()`` to the caller.  Use :meth:`detach` to disarm.
+    """
+
+    def __init__(
+        self,
+        noc,
+        horizon: int = 2000,
+        check_interval: Optional[int] = None,
+    ) -> None:
+        if horizon < 2:
+            raise ValueError("horizon must be >= 2 cycles")
+        self.noc = noc
+        self.horizon = horizon
+        self.check_interval = check_interval or max(1, horizon // 8)
+        self.checks = 0
+        self.trips = 0
+        self._last_check = noc.sim.cycle
+        self._last_progress_cycle = noc.sim.cycle
+        self._last_signature = self._signature()
+        self._armed = True
+        noc.sim.add_watcher(self._on_cycle)
+
+    def detach(self) -> None:
+        """Disarm and unregister from the simulator."""
+        self._armed = False
+        self.noc.sim.remove_watcher(self._on_cycle)
+
+    def _signature(self) -> Tuple[int, int, int]:
+        """Monotone counters that move iff the network moved."""
+        noc = self.noc
+        accepted = 0
+        for sw in noc.switches.values():
+            for r in getattr(sw, "receivers", []):
+                accepted += r.accepted_flits
+        for ni in noc.initiator_nis.values():
+            accepted += getattr(ni.rx, "accepted_flits", 0)
+        for ni in noc.target_nis.values():
+            accepted += getattr(ni.rx, "accepted_flits", 0)
+        delivered = sum(
+            ni.responses_delivered + ni.transactions_failed
+            for ni in noc.initiator_nis.values()
+        )
+        served = sum(ni.requests_served for ni in noc.target_nis.values())
+        return (accepted, delivered, served)
+
+    def _outstanding(self) -> bool:
+        """Is anything still owed to a master?"""
+        for m in self.noc.masters.values():
+            if not m.quiescent:
+                return True
+        for ni in self.noc.initiator_nis.values():
+            if not ni.idle:
+                return True
+        return False
+
+    def _on_cycle(self, cycle: int) -> None:
+        if not self._armed:
+            return
+        if cycle - self._last_check < self.check_interval:
+            return
+        self._last_check = cycle
+        self.checks += 1
+        sig = self._signature()
+        if sig != self._last_signature:
+            self._last_signature = sig
+            self._last_progress_cycle = cycle
+            return
+        if not self._outstanding():
+            # Idle network: nothing owed, frozen counters are fine.
+            self._last_progress_cycle = cycle
+            return
+        if cycle - self._last_progress_cycle >= self.horizon:
+            self.trips += 1
+            self._armed = False
+            raise NoProgressError(cycle, self.horizon, occupancy_snapshot(self.noc))

@@ -54,6 +54,10 @@ class OcpTrafficMaster(Component):
         self._completed: Set[int] = set()
         self.issued = 0
         self.completed = 0
+        #: Transactions the network gave up on (SResp.ERR from an NI
+        #: transaction timeout -- see docs/RESILIENCE.md).  Reported,
+        #: not hung on: the slot is freed and the pattern moves on.
+        self.failed = 0
         self.read_data: Dict[int, Tuple[int, ...]] = {}
         self.interrupts: List[SidebandEvent] = []
 
@@ -65,6 +69,7 @@ class OcpTrafficMaster(Component):
         self._completed = set()
         self.issued = 0
         self.completed = 0
+        self.failed = 0
         self.read_data = {}
         self.interrupts = []
 
@@ -131,10 +136,17 @@ class OcpTrafficMaster(Component):
                 self._completed.add(resp.txn_id)
                 self._in_flight.discard(resp.txn_id)
                 self.port.accept_response(resp.txn_id)
-                self.latency.finish(resp.txn_id, cycle)
-                self.completed += 1
-                if resp.data:
-                    self.read_data[resp.txn_id] = resp.data
+                if resp.sresp is SResp.ERR:
+                    # Lost transaction: no latency sample (it never
+                    # completed), but the in-flight slot is released.
+                    self.latency.discard(resp.txn_id)
+                    self.failed += 1
+                    self.trace(cycle, "txn-failed", txn=resp.txn_id)
+                else:
+                    self.latency.finish(resp.txn_id, cycle)
+                    self.completed += 1
+                    if resp.data:
+                        self.read_data[resp.txn_id] = resp.data
 
         # Sideband: log delivered interrupts.
         event = self.port.peek_sideband()

@@ -16,7 +16,8 @@ synthesis-oriented flow must give.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import List, Tuple
 
 import networkx as nx
@@ -35,6 +36,9 @@ class DeadlockReport:
     cycles: List[List[Channel]]
     n_channels: int
     n_dependencies: int
+    #: True when enumeration stopped at the sample cap -- ``cycles``
+    #: then holds a sample and the true count is even larger.
+    cycles_truncated: bool = field(default=False)
 
     def describe(self) -> str:
         if self.is_deadlock_free:
@@ -44,8 +48,9 @@ class DeadlockReport:
             )
         sample = self.cycles[0]
         pretty = " -> ".join(f"{a}->{b}" for a, b in sample)
+        more = "+" if self.cycles_truncated else ""
         return (
-            f"NOT deadlock-free: {len(self.cycles)} dependency cycle(s); "
+            f"NOT deadlock-free: {len(self.cycles)}{more} dependency cycle(s); "
             f"e.g. {pretty}"
         )
 
@@ -89,19 +94,34 @@ def _route_channels(topology: Topology, src_ni: str, route: Route) -> List[Chann
     return channels
 
 
-def check_deadlock_freedom(topology: Topology, policy: str = "") -> DeadlockReport:
-    """Analyse a topology + routing policy for wormhole deadlock."""
+#: Default cap on enumerated dependency cycles: a bad policy on a large
+#: topology has combinatorially many, and the report only needs enough
+#: to count truthfully and show examples.
+CYCLE_SAMPLE_CAP = 64
+
+
+def check_deadlock_freedom(
+    topology: Topology, policy: str = "", cycle_cap: int = CYCLE_SAMPLE_CAP
+) -> DeadlockReport:
+    """Analyse a topology + routing policy for wormhole deadlock.
+
+    Enumerates up to ``cycle_cap`` distinct dependency cycles (via
+    ``nx.simple_cycles``) so the report's cycle count is truthful
+    rather than "the first one found"; ``cycles_truncated`` flags when
+    the cap was hit.
+    """
     cdg = channel_dependency_graph(topology, policy)
-    try:
-        cycle_edges = nx.find_cycle(cdg)
-        cycles = [[edge[0] for edge in cycle_edges]]
-        free = False
-    except nx.NetworkXNoCycle:
-        cycles = []
-        free = True
+    cycles = [
+        list(nodes)
+        for nodes in itertools.islice(nx.simple_cycles(cdg), cycle_cap + 1)
+    ]
+    truncated = len(cycles) > cycle_cap
+    if truncated:
+        cycles = cycles[:cycle_cap]
     return DeadlockReport(
-        is_deadlock_free=free,
+        is_deadlock_free=not cycles,
         cycles=cycles,
         n_channels=cdg.number_of_nodes(),
         n_dependencies=cdg.number_of_edges(),
+        cycles_truncated=truncated,
     )

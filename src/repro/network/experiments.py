@@ -189,6 +189,7 @@ def verify_fast_path(
     rate: float = 0.2,
     max_outstanding: int = 4,
     seed: int = 0,
+    attach: Optional[Callable[["Noc"], None]] = None,
 ) -> str:
     """Cross-check the kernel's fast path against the full-tick loop.
 
@@ -198,11 +199,18 @@ def verify_fast_path(
     :meth:`~repro.network.noc.Noc.stats_digest`.  Raises
     :class:`~repro.sim.kernel.SimulationError` on any divergence and
     returns the (common) digest otherwise.
+
+    ``attach``, when given, is called on each freshly built NoC before
+    traffic is populated -- the hook fault campaigns use to arm a
+    :class:`~repro.faults.FaultInjector` on both instances and prove the
+    quiescence contract holds while fault windows open and close.
     """
     digests = []
     for fast in (True, False):
         noc = build_noc()
         noc.sim.set_fast_path(fast)
+        if attach is not None:
+            attach(noc)
         targets = noc.topology.targets
         initiators = noc.topology.initiators
         noc.populate(

@@ -159,6 +159,50 @@ class NetworkMonitor:
         return nacked / total if total else 0.0
 
 
+def occupancy_snapshot(noc: "Noc") -> Dict[str, object]:
+    """Instantaneous where-is-everything view of a NoC, for diagnosis.
+
+    Built for :class:`repro.faults.ProgressWatchdog`'s ``NoProgressError``
+    payload: when the network stops making progress, this names which
+    queues hold flits, which senders have unacknowledged windows, and
+    which NIs/masters are still waiting -- i.e. where the cycle or the
+    loss is.  Works in both flow-control modes (credit-mode switches
+    expose no output queues or go-back-N senders; those fields are
+    simply omitted).
+    """
+    snap: Dict[str, object] = {"cycle": noc.sim.cycle, "switches": {}, "nis": {},
+                               "masters": {}}
+    for name, sw in noc.switches.items():
+        entry: Dict[str, object] = {}
+        outputs = getattr(sw, "outputs", None)
+        if outputs is not None:
+            entry["queue_depths"] = [len(p.queue) for p in outputs]
+            entry["sender_in_flight"] = [p.sender.in_flight for p in outputs]
+        snap["switches"][name] = entry
+    for name, ni in noc.initiator_nis.items():
+        snap["nis"][name] = {
+            "outstanding": ni._outstanding_count,
+            "resp_backlog": len(ni._resp_queue),
+            "tx_in_flight": getattr(ni.tx.sender, "in_flight", 0),
+            "retried": ni.transactions_retried,
+            "failed": ni.transactions_failed,
+        }
+    for name, ni in noc.target_nis.items():
+        snap["nis"][name] = {
+            "req_backlog": len(ni._req_queue),
+            "tx_in_flight": getattr(ni.tx.sender, "in_flight", 0),
+            "served": ni.requests_served,
+        }
+    for name, m in noc.masters.items():
+        snap["masters"][name] = {
+            "issued": m.issued,
+            "completed": m.completed,
+            "failed": m.failed,
+            "in_flight": len(m._in_flight),
+        }
+    return snap
+
+
 def utilization_report(monitor: NetworkMonitor, top: int = 5) -> str:
     """Printable hotspot summary."""
     monitor.flush()

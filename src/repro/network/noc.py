@@ -58,6 +58,17 @@ class NocBuildConfig:
     ni_max_outstanding: int = 8
     ni_posted_writes: bool = False
     ni_enforce_thread_order: bool = False
+    #: End-to-end transaction timeout at the initiator NIs (cycles; see
+    #: docs/RESILIENCE.md).  ``None`` keeps the paper's hang-forever
+    #: semantics; a value arms retry (``ni_txn_retries`` attempts) then
+    #: SResp.ERR delivery for lost transactions.
+    ni_txn_timeout: Optional[int] = None
+    ni_txn_retries: int = 0
+    #: Sender-side lost-flit recovery (cycles of reverse-channel
+    #: silence before a go-back-N sender rewinds; ``None`` disables).
+    #: Needed for links that *drop* flits (dead-link faults) rather
+    #: than corrupt them.  Applies to every switch and NI sender.
+    link_resync_timeout: Optional[int] = None
     #: Bit-accurate error mode: attach a real CRC per flit (pair with
     #: ``LinkConfig(bit_errors=True)``); undetected errors become
     #: possible, as in silicon.
@@ -129,6 +140,11 @@ class Noc:
                 raise SimulationError(
                     "credit mode models only the 2-stage switch"
                 )
+            if self.config.link_resync_timeout is not None:
+                raise SimulationError(
+                    "link_resync_timeout is a go-back-N recovery knob; "
+                    "credit senders cannot retransmit"
+                )
         self.codec = (
             codec_for_flit_width(params.flit_width) if self.config.crc_mode else None
         )
@@ -139,6 +155,9 @@ class Noc:
 
         self._build_fabric()
         self._build_nis()
+        if self.config.link_resync_timeout is not None:
+            for sender in self._gbn_senders():
+                sender.resync_timeout = self.config.link_resync_timeout
 
         self.masters: Dict[str, OcpTrafficMaster] = {}
         self.slaves: Dict[str, OcpMemorySlave] = {}
@@ -297,6 +316,8 @@ class Noc:
             max_outstanding=cfg.ni_max_outstanding,
             posted_writes=cfg.ni_posted_writes,
             enforce_thread_order=cfg.ni_enforce_thread_order,
+            txn_timeout=cfg.ni_txn_timeout,
+            txn_retries=cfg.ni_txn_retries,
         )
         self.initiator_nis: Dict[str, InitiatorNI] = {}
         self.target_nis: Dict[str, TargetNI] = {}
@@ -454,23 +475,37 @@ class Noc:
     def total_issued(self) -> int:
         return sum(m.issued for m in self.masters.values())
 
-    def total_retransmissions(self) -> int:
+    def _gbn_senders(self):
+        """Every go-back-N sender in the design (empty in credit mode)."""
         if self.credit_mode:
-            return 0  # credits never retransmit (they cannot)
-        total = 0
+            return
         for sw in self.switches.values():
-            total += sum(p.sender.retransmissions for p in sw.outputs)
+            for p in sw.outputs:
+                yield p.sender
         for ni in self.initiator_nis.values():
-            total += ni.tx.sender.retransmissions
+            yield ni.tx.sender
         for ni in self.target_nis.values():
-            total += ni.tx.sender.retransmissions
-        return total
+            yield ni.tx.sender
+
+    def total_retransmissions(self) -> int:
+        return sum(s.retransmissions for s in self._gbn_senders())
 
     def total_errors_injected(self) -> int:
         return sum(link.errors_injected for link in self.links)
 
     def total_flits_carried(self) -> int:
         return sum(link.flits_carried for link in self.links)
+
+    def total_flits_dropped(self) -> int:
+        """Flits swallowed by dead-link fault windows (see repro.faults)."""
+        return sum(link.flits_dropped for link in self.links)
+
+    def total_transactions_failed(self) -> int:
+        """Transactions the NIs gave up on (SResp.ERR to the master)."""
+        return sum(ni.transactions_failed for ni in self.initiator_nis.values())
+
+    def total_transactions_retried(self) -> int:
+        return sum(ni.transactions_retried for ni in self.initiator_nis.values())
 
     def stats_digest(self) -> str:
         """sha256 over every observable statistic, for equivalence checks.
@@ -489,6 +524,7 @@ class Noc:
             m = self.masters[name]
             lines.append(
                 f"master {name} issued={m.issued} completed={m.completed} "
+                f"failed={m.failed} "
                 f"latency={m.latency.samples!r} interrupts={len(m.interrupts)}"
             )
         for name in sorted(self.slaves):
@@ -502,6 +538,8 @@ class Noc:
             lines.append(
                 f"ini {name} issued={ni.transactions_issued} "
                 f"delivered={ni.responses_delivered} irqs={ni.interrupts_delivered} "
+                f"retried={ni.transactions_retried} failed={ni.transactions_failed} "
+                f"stale={ni.stale_responses} "
                 f"pkt={ni.packet_latency.samples!r}"
             )
         for name in sorted(self.target_nis):
@@ -519,7 +557,7 @@ class Noc:
         for link in sorted(self.links, key=lambda l: l.name):
             lines.append(
                 f"link {link.name} carried={link.flits_carried} "
-                f"errors={link.errors_injected}"
+                f"errors={link.errors_injected} dropped={link.flits_dropped}"
             )
         lines.append(f"retransmissions={self.total_retransmissions()}")
         return hashlib.sha256("\n".join(lines).encode()).hexdigest()

@@ -133,6 +133,17 @@ class Simulator:
         """Register a callback invoked after every cycle (for probes)."""
         self._watchers.append(fn)
 
+    def remove_watcher(self, fn: Callable[[int], None]) -> None:
+        """Unregister a watcher (no-op if it was never registered).
+
+        Lets runtime monitors -- e.g. ``repro.faults.ProgressWatchdog``
+        -- detach cleanly instead of haunting the simulation forever.
+        """
+        try:
+            self._watchers.remove(fn)
+        except ValueError:
+            pass
+
     def add_probe(self, component: Component, fn: Callable[[int], None]) -> None:
         """Invoke ``fn(cycle)`` right after ``component`` ticks.
 

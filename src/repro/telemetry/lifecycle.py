@@ -19,7 +19,10 @@ ordinary :class:`~repro.sim.trace.Tracer` interface:
     injection, ``-1`` if the birth cycle is unknown).
 
 Links additionally emit ``link_error`` (fields ``pkt``, ``seq``) for
-every injected error, so retransmission causes are visible inline.
+every injected error, so retransmission causes are visible inline, and
+a :class:`repro.faults.FaultInjector` emits ``fault`` instants (fields
+``link``, ``mode``, ``phase``) when campaign windows open and close --
+exported on their own ``faults`` timeline row.
 
 :func:`chrome_trace_events` folds a recorded event stream into the
 Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
@@ -36,9 +39,14 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.trace import Tracer
 
-#: Event names that define the packet lifecycle.
-LIFECYCLE_EVENTS = ("pkt_inject", "hop", "pkt_eject", "link_error")
+#: Event names that define the packet lifecycle (plus campaign fault
+#: window instants, which share the retention/export pipeline).
+LIFECYCLE_EVENTS = ("pkt_inject", "hop", "pkt_eject", "link_error", "fault")
 _LIFECYCLE_SET = frozenset(LIFECYCLE_EVENTS)
+
+#: Synthetic trace-event tid for the campaign fault timeline (packet
+#: rows use the packet id, which is always >= 0).
+FAULT_TRACK_TID = -1
 
 #: The trace-event ``pid`` every NoC event is filed under.
 TRACE_PID = 1
@@ -58,6 +66,10 @@ def enable_lifecycle(noc, enabled: bool = True) -> int:
         + list(noc.initiator_nis.values())
         + list(noc.target_nis.values())
         + list(noc.links)
+        # Fault injectors attach themselves to the NoC (see
+        # repro.faults.FaultInjector); their window open/close instants
+        # ride the same lifecycle switch.
+        + list(getattr(noc, "fault_injectors", []))
     )
     for comp in components:
         if hasattr(comp, "lifecycle"):
@@ -103,8 +115,13 @@ def chrome_trace_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
     ejects: Dict[int, Event] = {}
     hops: Dict[int, List[Event]] = {}
     errors: Dict[int, List[Event]] = {}
+    faults: List[Event] = []
     for ev in events:
         cycle, source, name, fields = ev
+        if name == "fault":
+            # Campaign window instants carry a link, not a packet.
+            faults.append(ev)
+            continue
         pkt = fields.get("pkt")
         if not isinstance(pkt, int):
             continue
@@ -216,6 +233,37 @@ def chrome_trace_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
                     "ts": cycle,
                     "s": "t",
                     "args": {"seq": fields.get("seq")},
+                }
+            )
+    if faults:
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": FAULT_TRACK_TID,
+                "args": {"name": "faults"},
+            }
+        )
+        for cycle, source, _name, fields in faults:
+            mode = fields.get("mode", "?")
+            phase = fields.get("phase", "?")
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"{mode} {phase} {fields.get('link', '?')}",
+                    "cat": "fault",
+                    "pid": TRACE_PID,
+                    "tid": FAULT_TRACK_TID,
+                    "ts": cycle,
+                    "s": "t",
+                    "args": {
+                        "injector": source,
+                        "link": fields.get("link"),
+                        "mode": mode,
+                        "phase": phase,
+                        "rate": fields.get("rate"),
+                    },
                 }
             )
     return out

@@ -102,6 +102,18 @@ class NocTelemetry:
             "noc.transactions_completed", noc.total_completed,
             help="OCP transactions completed by all masters",
         )
+        reg.gauge(
+            "noc.flits_dropped", noc.total_flits_dropped,
+            help="flits dropped by dead-link fault windows",
+        )
+        reg.gauge(
+            "noc.transactions_failed", noc.total_transactions_failed,
+            help="transactions reported lost (SResp.ERR) after timeout",
+        )
+        reg.gauge(
+            "noc.transactions_retried", noc.total_transactions_retried,
+            help="transaction resubmissions after an NI timeout",
+        )
         for name, sw in noc.switches.items():
             reg.gauge(
                 f"switch.{name}.flits_routed", lambda s=sw: s.flits_routed,
@@ -123,6 +135,16 @@ class NocTelemetry:
                 lambda n=ni: n.responses_delivered,
                 help="responses reassembled and handed to the core",
             )
+            reg.gauge(
+                f"ni.{name}.transactions_retried",
+                lambda n=ni: n.transactions_retried,
+                help="timed-out transactions this NI resubmitted",
+            )
+            reg.gauge(
+                f"ni.{name}.transactions_failed",
+                lambda n=ni: n.transactions_failed,
+                help="transactions this NI reported lost (SResp.ERR)",
+            )
         for name, ni in noc.target_nis.items():
             reg.gauge(
                 f"ni.{name}.requests_served", lambda n=ni: n.requests_served,
@@ -133,6 +155,19 @@ class NocTelemetry:
                 f"link.{link.name}.flits_carried",
                 lambda l=link: l.flits_carried,
                 help="flits carried by this link",
+            )
+        # Fault injectors attach themselves to the NoC; gauges cover any
+        # that exist when telemetry is wired up (create injectors first).
+        for inj in getattr(noc, "fault_injectors", []):
+            reg.gauge(
+                f"faults.{inj.name}.windows_opened",
+                lambda i=inj: i.windows_opened,
+                help="fault windows opened so far",
+            )
+            reg.gauge(
+                f"faults.{inj.name}.windows_closed",
+                lambda i=inj: i.windows_closed,
+                help="fault windows closed so far",
             )
         col = self.collector
         reg.gauge(

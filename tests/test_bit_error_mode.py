@@ -58,6 +58,44 @@ class TestBitFlipInjection:
         with pytest.raises(ValueError):
             f.flip_bits([4])
 
+    def test_adjacent_coupling_clamps_at_msb(self):
+        # Coupling faults are physical adjacency: when the primary flip
+        # lands on the MSB, the companion flip must be its lower
+        # neighbour (width-2), never wrap to bit 0 across the bus -- a
+        # wrapped pair aliases differently under CRC than a real
+        # adjacent pair would.
+        class _ScriptedRng:
+            """Drives _inject: fire the error, pick the MSB, couple."""
+
+            def __init__(self, width):
+                self.width = width
+                self.rolls = iter([0.0, 0.0])  # error fires, coupling fires
+
+            def random(self):
+                return next(self.rolls)
+
+            def randrange(self, n):
+                assert n == self.width
+                return n - 1  # the MSB
+
+        width = 16
+        sim = Simulator()
+        cfg = LinkConfig(stages=1, error_rate=0.5, bit_errors=True)
+        up = sim.flit_channel("up")
+        down = sim.flit_channel("down")
+        link = sim.add(Link("l", up, down, cfg, seed=1))
+        link._rng = _ScriptedRng(width)
+        original = Flit(ftype=FlitType.HEAD_TAIL, payload=0, width=width)
+        up.send(original)
+        sim.run(2)
+        got = down.peek_flit()
+        assert got is not None
+        flipped = {i for i in range(width) if (got.payload >> i) & 1}
+        assert flipped == {width - 1, width - 2}, (
+            f"MSB coupling must clamp to the lower neighbour, "
+            f"flipped bits {sorted(flipped)}"
+        )
+
 
 class TestCrcProtectedStream:
     def test_crc_recovers_the_stream(self):

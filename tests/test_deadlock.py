@@ -80,3 +80,43 @@ class TestChannelDependencyGraph:
         topo.attach("cpu", "sw_0_0")
         topo.attach("mem", "sw_1_1")
         assert check_deadlock_freedom(topo).is_deadlock_free
+
+
+class TestCycleEnumeration:
+    """The report counts cycles truthfully (the pre-fix code stopped at
+    the first one found, so every cyclic topology claimed exactly 1)."""
+
+    def test_multiple_cycles_are_enumerated(self):
+        # A bigger ring under shortest-path routing wraps dependencies
+        # in both directions: two distinct cycles, not "1".
+        topo = ring(8)
+        attach_round_robin(topo, 4, 4)
+        report = check_deadlock_freedom(topo, "shortest")
+        assert not report.is_deadlock_free
+        assert len(report.cycles) >= 2
+        assert not report.cycles_truncated
+        # Every reported cycle is genuine, including the wrap-around.
+        for cycle in report.cycles:
+            closed = cycle + [cycle[0]]
+            for (a1, b1), (a2, b2) in zip(closed, closed[1:]):
+                assert b1 == a2
+
+    def test_enumeration_is_capped_and_flagged(self):
+        # A torus under all-pairs shortest routing has combinatorially
+        # many dependency cycles; enumeration must stop at the cap and
+        # say so instead of pretending the count is exact.
+        topo = torus(4, 4)
+        attach_round_robin(topo, 8, 8)
+        report = check_deadlock_freedom(topo, "shortest")
+        assert report.cycles_truncated
+        assert len(report.cycles) == 64  # CYCLE_SAMPLE_CAP
+        capped = check_deadlock_freedom(topo, "shortest", cycle_cap=2)
+        assert capped.cycles_truncated and len(capped.cycles) == 2
+        assert "2+" in capped.describe()
+
+    def test_acyclic_report_is_never_truncated(self):
+        topo = mesh(3, 3)
+        attach_round_robin(topo, 4, 4)
+        report = check_deadlock_freedom(topo, "dor")
+        assert report.is_deadlock_free
+        assert not report.cycles_truncated

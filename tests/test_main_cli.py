@@ -45,3 +45,12 @@ class TestReportCommand:
     def test_report_rejects_malformed_mesh(self, capsys):
         assert main(["report", "--mesh", "banana"]) == 2
         assert "--mesh" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_faults_smoke_recovers_and_catches_the_wedge(self, capsys):
+        assert main(["faults", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke-recovers" in out
+        assert "smoke-wedged" in out
+        assert "NO PROGRESS" in out

@@ -427,3 +427,73 @@ class TestCreditModeCompat:
         # are simply absent rather than wrong.
         assert not any(k.startswith("queue.") for k in doc["gauges"])
         assert len(telem.collector.events) > 0
+
+
+class TestFaultInstants:
+    """Campaign fault windows ride the lifecycle pipeline: ``fault``
+    instants in the collector, their own timeline row in the export."""
+
+    def faulted_noc(self, cycles=600):
+        from repro.faults import FaultInjector, FaultWindow
+
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        noc = Noc(topo)
+        injector = FaultInjector(
+            noc,
+            [FaultWindow("link.sw_0_0.p*", start=100, duration=200, error_rate=0.4)],
+        )
+        collector = LifecycleCollector()
+        noc.sim.tracer = collector
+        enable_lifecycle(noc)
+        assert injector.lifecycle  # the injector rides the same switch
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.1, seed=i) for i, c in enumerate(cpus)}
+        )
+        noc.run(cycles)
+        return noc, collector
+
+    def test_fault_events_collected(self):
+        noc, col = self.faulted_noc()
+        faults = [e for e in col.events if e[2] == "fault"]
+        assert faults
+        phases = {e[3]["phase"] for e in faults}
+        assert phases == {"open", "close"}
+        assert all(e[3]["mode"] == "burst" for e in faults)
+
+    def test_fault_row_in_chrome_export(self):
+        from repro.telemetry.lifecycle import FAULT_TRACK_TID
+
+        noc, col = self.faulted_noc()
+        events = chrome_trace_events(col.events)
+        rows = [e for e in events if e.get("tid") == FAULT_TRACK_TID]
+        named = [e for e in rows if e["ph"] == "M"]
+        instants = [e for e in rows if e["ph"] == "i"]
+        assert named and named[0]["args"]["name"] == "faults"
+        assert instants
+        assert all(e["cat"] == "fault" for e in instants)
+        assert all(e["args"]["link"].startswith("link.sw_0_0.") for e in instants)
+
+    def test_fault_counters_exported_as_gauges(self):
+        from repro.faults import FaultInjector, FaultWindow
+
+        topo = mesh(2, 2)
+        cpus, mems = attach_round_robin(topo, 2, 2)
+        noc = Noc(topo, NocBuildConfig(ni_txn_timeout=300, ni_txn_retries=1,
+                                       link_resync_timeout=40))
+        FaultInjector(
+            noc,
+            [FaultWindow("link.sw_0_0.p*", start=100, duration=300, mode="dead")],
+        )
+        telemetry = NocTelemetry(noc)
+        noc.populate(
+            {c: UniformRandomTraffic(mems, 0.1, seed=i) for i, c in enumerate(cpus)}
+        )
+        noc.run(1200)
+        doc = telemetry.snapshot()
+        gauges = doc["gauges"]
+        assert gauges["noc.flits_dropped"]["value"] > 0
+        assert "noc.transactions_failed" in gauges
+        assert "noc.transactions_retried" in gauges
+        assert gauges["faults.faults.windows_opened"]["value"] > 0
+        validate_metrics(doc)
