@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 
 # Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
@@ -31,3 +31,10 @@ report-smoke:
 # watchdog must catch instead of hanging.  See docs/RESILIENCE.md.
 faults-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro faults --smoke
+
+# Crash-safety pulse-check: checkpoint a fault sweep, SIGKILL it
+# mid-campaign, resume, and require the results to match an
+# uninterrupted run with no completed point recomputed.  See
+# docs/CHECKPOINT.md.
+checkpoint-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/checkpoint_smoke.py

@@ -24,7 +24,13 @@ import pytest
 from _common import emit, get_runner
 
 from repro.core.config import LinkConfig
-from repro.faults import CampaignSpec, FaultCampaign, FaultWindow, render_campaign
+from repro.faults import (
+    CampaignSpec,
+    FaultCampaign,
+    FaultWindow,
+    checkpoint_options_from_env,
+    render_campaign,
+)
 from repro.network.experiments import TopologyNocBuilder
 from repro.network.noc import NocBuildConfig
 from repro.network.topology import mesh
@@ -70,7 +76,11 @@ def sweep_specs(bers):
 
 
 def run_sweep(bers):
-    return FaultCampaign(sweep_specs(bers), runner=get_runner()).run()
+    # --checkpoint-every / --checkpoint-dir / --resume arrive via the
+    # environment, like --jobs / --cache do (see python -m repro figures).
+    return FaultCampaign(
+        sweep_specs(bers), runner=get_runner(), **checkpoint_options_from_env()
+    ).run()
 
 
 def check_and_emit(results, bers, figure: str) -> None:

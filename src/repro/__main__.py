@@ -13,7 +13,11 @@ Usage::
 ``figures`` accepts ``--jobs N`` (run sweep points on N worker
 processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
 config hash -- see docs/PERFORMANCE.md).  Both default off, preserving
-the sequential uncached behaviour.
+the sequential uncached behaviour.  ``--checkpoint-every N``,
+``--checkpoint-dir DIR`` and ``--resume`` make long campaigns
+crash-safe: completed points are journaled and served from the cache,
+and in-flight campaigns restart from their last deterministic
+checkpoint instead of cycle 0 (see docs/CHECKPOINT.md).
 
 ``report`` runs uniform random traffic on a mesh with the full
 telemetry suite attached (see docs/OBSERVABILITY.md) and writes
@@ -31,7 +35,8 @@ the tiny deterministic resilience check instead: a faulted campaign
 that must complete AND a dead-link scenario with no recovery armed that
 the progress watchdog must catch; exits non-zero if either expectation
 fails (wired into ``make faults-smoke`` / ``make bench-smoke``).
-``--jobs``/``--cache`` apply like they do for ``figures``.
+``--jobs``/``--cache``/``--checkpoint-every``/``--checkpoint-dir``/
+``--resume`` apply like they do for ``figures``.
 """
 
 from __future__ import annotations
@@ -94,17 +99,30 @@ def _mesh_case_study() -> int:
     return 0
 
 
-def _figures(jobs: int = 1, cache: "str | None" = None) -> int:
+def _figures(
+    jobs: int = 1,
+    cache: "str | None" = None,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+) -> int:
     import os
 
     import pytest
 
     # The benchmarks run under pytest, so the runner configuration
-    # travels via the environment (ExperimentRunner.from_env reads it).
+    # travels via the environment (ExperimentRunner.from_env and
+    # checkpoint_options_from_env read it).
     if jobs > 1:
         os.environ["REPRO_JOBS"] = str(jobs)
     if cache:
         os.environ["REPRO_CACHE"] = cache
+    if checkpoint_every is not None:
+        os.environ["REPRO_CHECKPOINT_EVERY"] = str(checkpoint_every)
+    if checkpoint_dir:
+        os.environ["REPRO_CHECKPOINT_DIR"] = checkpoint_dir
+    if resume:
+        os.environ["REPRO_RESUME"] = "1"
     # "slow" marks the dense resilience sweeps; the committed figures
     # come from the regular-size runs.
     return pytest.main(["benchmarks/", "--benchmark-only", "-q", "-m", "not slow"])
@@ -199,12 +217,27 @@ def _report(
     return 0
 
 
-def _faults(smoke: bool = False, jobs: int = 1, cache: "str | None" = None) -> int:
+def _faults(
+    smoke: bool = False,
+    jobs: int = 1,
+    cache: "str | None" = None,
+    checkpoint_every: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+) -> int:
     from repro.faults import CampaignSpec, FaultCampaign, FaultWindow, render_campaign
     from repro.flow.runner import ExperimentRunner
     from repro.network.experiments import TopologyNocBuilder
     from repro.network.noc import NocBuildConfig
     from repro.network.topology import mesh
+
+    if checkpoint_every is not None and not checkpoint_dir:
+        checkpoint_dir = cache or ".repro-checkpoints"
+    ckpt = {
+        "checkpoint_every": checkpoint_every,
+        "checkpoint_dir": checkpoint_dir,
+        "resume": resume,
+    }
 
     plain = TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2)
     # Same fabric with the recovery machinery armed: NI transaction
@@ -236,7 +269,7 @@ def _faults(smoke: bool = False, jobs: int = 1, cache: "str | None" = None) -> i
             rate=0.05, warmup_cycles=100, measure_cycles=5000,
             watchdog_horizon=600, label="smoke-wedged",
         )
-        results = FaultCampaign([healthy, wedged]).run()
+        results = FaultCampaign([healthy, wedged], **ckpt).run()
         print(render_campaign(results))
         ok = True
         if results[0].no_progress or results[0].completed <= 0:
@@ -278,8 +311,11 @@ def _faults(smoke: bool = False, jobs: int = 1, cache: "str | None" = None) -> i
             rate=0.05, label="dead 400cyc +recovery",
         ),
     ]
-    results = FaultCampaign(specs, runner=runner).run()
+    results = FaultCampaign(specs, runner=runner, **ckpt).run()
     print(render_campaign(results))
+    if runner is not None and runner.failures:
+        print(runner.render_report("faults runner"), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -309,6 +345,29 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="figures: memoize sweep results in DIR keyed by config "
         "hash (default: no cache)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="figures/faults: write a deterministic simulator checkpoint "
+        "every N cycles of each campaign (default: off; see "
+        "docs/CHECKPOINT.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="figures/faults: directory for mid-campaign checkpoints "
+        "(default: the --cache dir, else .repro-checkpoints)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="figures/faults: pick up where a killed run stopped -- serve "
+        "journaled results from the cache and restore mid-campaign "
+        "checkpoints instead of recomputing",
     )
     parser.add_argument(
         "--out",
@@ -359,9 +418,22 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.command == "figures":
-        return _figures(jobs=args.jobs, cache=args.cache)
+        return _figures(
+            jobs=args.jobs,
+            cache=args.cache,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
     if args.command == "faults":
-        return _faults(smoke=args.smoke, jobs=args.jobs, cache=args.cache)
+        return _faults(
+            smoke=args.smoke,
+            jobs=args.jobs,
+            cache=args.cache,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
     if args.command == "report":
         return _report(
             out=args.out,

@@ -23,7 +23,10 @@ what exercises them.
 from repro.faults.campaign import (
     CampaignResult,
     CampaignSpec,
+    CheckpointedCampaign,
     FaultCampaign,
+    campaign_checkpoint_path,
+    checkpoint_options_from_env,
     render_campaign,
     run_campaign,
 )
@@ -39,11 +42,14 @@ __all__ = [
     "FAULT_MODES",
     "CampaignResult",
     "CampaignSpec",
+    "CheckpointedCampaign",
     "FaultCampaign",
     "FaultInjector",
     "FaultWindow",
     "NoProgressError",
     "ProgressWatchdog",
+    "campaign_checkpoint_path",
+    "checkpoint_options_from_env",
     "randomized_windows",
     "render_campaign",
     "run_campaign",

@@ -17,14 +17,17 @@ is the convenience wrapper, and ``python -m repro faults`` the CLI.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.faults.injector import FaultInjector, FaultWindow
 from repro.faults.watchdog import NoProgressError, ProgressWatchdog
-from repro.flow.runner import ExperimentRunner, RunManifest
+from repro.flow.runner import ExperimentRunner, RunManifest, stable_repr
 from repro.network.experiments import TopologyNocBuilder
 from repro.network.traffic import UniformRandomTraffic
+from repro.sim.snapshot import SimSnapshot, SnapshotError
 
 
 @dataclass(frozen=True)
@@ -81,9 +84,22 @@ def _latency_stats(samples: Sequence[int]) -> Tuple[float, float]:
     return mean, float(p95)
 
 
-def run_campaign(spec: CampaignSpec) -> CampaignResult:
-    """Build, fault, run and measure one campaign (module-level so
-    ExperimentRunner worker processes can pickle it)."""
+def campaign_checkpoint_path(spec: CampaignSpec, checkpoint_dir: str) -> str:
+    """Where a campaign's mid-run checkpoint lives.
+
+    Keyed by the sha256 of ``stable_repr(spec)``, so the same spec
+    always finds its own checkpoint and different specs never collide.
+    """
+    digest = hashlib.sha256(stable_repr(spec).encode()).hexdigest()
+    return os.path.join(checkpoint_dir, f"campaign-{digest[:16]}.ckpt")
+
+
+def _build_campaign_noc(spec: CampaignSpec):
+    """Deterministically rebuild the campaign's NoC + injector.
+
+    Called both for a fresh run and before restoring a checkpoint: the
+    snapshot layer stores state only, so restore needs a structurally
+    identical simulator (see docs/CHECKPOINT.md)."""
     noc = spec.builder()
     injector = FaultInjector(noc, spec.windows)
     targets = list(noc.topology.targets)
@@ -92,22 +108,93 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
         for i, ni in enumerate(noc.topology.initiators)
     }
     noc.populate(patterns, max_outstanding=spec.max_outstanding)
+    return noc, injector
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> CampaignResult:
+    """Build, fault, run and measure one campaign (module-level so
+    ExperimentRunner worker processes can pickle it).
+
+    With ``checkpoint_every`` and ``checkpoint_dir`` set, the run is
+    sliced at checkpoint boundaries and a deterministic simulator
+    snapshot (plus warm-up accounting in its extras) is written after
+    each slice -- slicing ``run`` is cycle-identical to one long run.
+    With ``resume=True`` an existing checkpoint for this spec is
+    restored and only the remaining cycles are simulated; an unreadable
+    or structurally stale checkpoint falls back to a fresh run.
+    """
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1 cycles, got {checkpoint_every}")
+    ckpt_path: Optional[str] = None
+    if checkpoint_every is not None:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
+        ckpt_path = campaign_checkpoint_path(spec, checkpoint_dir)
+
+    noc, injector = _build_campaign_noc(spec)
+    total_cycles = spec.warmup_cycles + spec.measure_cycles
+
+    warm_completed = 0
+    warm_samples = 0
+    warm_captured = False
+    if resume and ckpt_path is not None and os.path.exists(ckpt_path):
+        try:
+            snap = SimSnapshot.load(ckpt_path)
+            extras = noc.sim.restore(snap)
+            warm_completed = extras.get("warm_completed", 0)
+            warm_samples = extras.get("warm_samples", 0)
+            warm_captured = extras.get("warm_captured", False)
+        except SnapshotError:
+            # Stale or torn checkpoint: a partial restore may have
+            # touched state, so rebuild and start from cycle 0.
+            noc, injector = _build_campaign_noc(spec)
+            warm_completed = warm_samples = 0
+            warm_captured = False
+
+    # The watchdog hooks the *live* simulator, so (re-)arm it only
+    # after any restore; it re-baselines on its first check.
     watchdog = (
         ProgressWatchdog(noc, horizon=spec.watchdog_horizon)
         if spec.watchdog_horizon is not None
         else None
     )
 
+    # Run in slices so warm-up stats are captured punctually and
+    # checkpoints land on exact multiples of checkpoint_every.
+    boundaries = {spec.warmup_cycles, total_cycles}
+    if ckpt_path is not None:
+        boundaries.update(range(checkpoint_every, total_cycles, checkpoint_every))
+
     no_progress = False
     no_progress_cycle = -1
     diagnosis = ""
-    warm_completed = 0
-    warm_samples = 0
     try:
-        noc.run(spec.warmup_cycles)
-        warm_completed = noc.total_completed()
-        warm_samples = len(noc.aggregate_latency().samples)
-        noc.run(spec.measure_cycles)
+        for boundary in sorted(boundaries):
+            if boundary <= noc.sim.cycle:
+                continue
+            noc.run(boundary - noc.sim.cycle)
+            if noc.sim.cycle == spec.warmup_cycles and not warm_captured:
+                warm_completed = noc.total_completed()
+                warm_samples = len(noc.aggregate_latency().samples)
+                warm_captured = True
+            if (
+                ckpt_path is not None
+                and boundary % checkpoint_every == 0
+                and boundary < total_cycles
+            ):
+                snap = noc.sim.snapshot(
+                    extras={
+                        "warm_completed": warm_completed,
+                        "warm_samples": warm_samples,
+                        "warm_captured": warm_captured,
+                    }
+                )
+                snap.save(ckpt_path)
     except NoProgressError as exc:
         no_progress = True
         no_progress_cycle = exc.cycle
@@ -115,6 +202,13 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
     finally:
         if watchdog is not None:
             watchdog.detach()
+
+    if ckpt_path is not None and not no_progress:
+        # Finished cleanly: the checkpoint has served its purpose.
+        try:
+            os.unlink(ckpt_path)
+        except OSError:
+            pass
 
     cycles_run = noc.sim.cycle
     measured = max(cycles_run - spec.warmup_cycles, 1)
@@ -142,27 +236,119 @@ def run_campaign(spec: CampaignSpec) -> CampaignResult:
     )
 
 
+class CheckpointedCampaign:
+    """A picklable ``run_campaign`` with checkpoint/resume bound in.
+
+    Deliberately *not* a dataclass, and ``cache_token`` mirrors plain
+    ``run_campaign``'s :func:`stable_repr`: checkpointing changes how a
+    result is computed, never what it is, so runner cache keys must be
+    identical with and without the flags -- a resumed sweep then hits
+    the cache entries its killed predecessor already published.
+    """
+
+    def __init__(
+        self,
+        checkpoint_every: int,
+        checkpoint_dir: str,
+        resume: bool = False,
+    ) -> None:
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+
+    def __call__(self, spec: CampaignSpec) -> CampaignResult:
+        return run_campaign(
+            spec,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+        )
+
+    def cache_token(self):
+        # The token is the wrapped function itself, so stable_repr sees
+        # exactly what it sees for a plain run_campaign sweep.
+        return run_campaign
+
+
 class FaultCampaign:
-    """A batch of campaign specs, optionally runner-accelerated."""
+    """A batch of campaign specs, optionally runner-accelerated.
+
+    ``checkpoint_every`` / ``checkpoint_dir`` / ``resume`` thread the
+    per-spec checkpointing of :func:`run_campaign` through the batch
+    (and through the runner's worker processes)."""
 
     def __init__(
         self,
         specs: Sequence[CampaignSpec],
         runner: Optional[ExperimentRunner] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
         self.specs = list(specs)
         self.runner = runner
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+
+    def _fn(self):
+        if self.checkpoint_every is None:
+            return run_campaign
+        return CheckpointedCampaign(
+            self.checkpoint_every, self.checkpoint_dir, self.resume
+        )
 
     def run(self) -> List[CampaignResult]:
+        fn = self._fn()
         if self.runner is not None:
-            results = self.runner.map(run_campaign, self.specs, label="campaign")
+            results = self.runner.map(fn, self.specs, label="campaign")
             # Same provenance surfacing as load_sweep: one manifest per
             # point, in input order (cache key, hit/miss, wall time).
-            return [
-                dataclasses.replace(r, manifest=m)
-                for r, m in zip(results, self.runner.last_manifests)
-            ]
-        return [run_campaign(s) for s in self.specs]
+            # Failed points (on_failure="record") carry no manifest.
+            if len(self.runner.last_manifests) == len(results):
+                return [
+                    dataclasses.replace(r, manifest=m)
+                    for r, m in zip(results, self.runner.last_manifests)
+                ]
+            return results
+        return [fn(s) for s in self.specs]
+
+
+def checkpoint_options_from_env() -> dict:
+    """``REPRO_CHECKPOINT_EVERY`` / ``REPRO_CHECKPOINT_DIR`` /
+    ``REPRO_RESUME`` as :class:`FaultCampaign` keyword arguments.
+
+    The environment is how ``python -m repro figures --checkpoint-every
+    N --checkpoint-dir DIR --resume`` reaches campaigns inside
+    pytest-collected benchmarks (same channel as REPRO_JOBS).  Invalid
+    values raise :class:`ValueError` naming the variable.
+    """
+    from repro.flow.runner import _env_flag
+
+    raw = os.environ.get("REPRO_CHECKPOINT_EVERY") or None
+    every: Optional[int] = None
+    if raw is not None:
+        try:
+            every = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CHECKPOINT_EVERY must be a cycle count, got {raw!r}"
+            ) from None
+        if every < 1:
+            raise ValueError(
+                f"REPRO_CHECKPOINT_EVERY must be >= 1 cycles, got {every}"
+            )
+    checkpoint_dir = os.environ.get("REPRO_CHECKPOINT_DIR") or None
+    if every is not None and checkpoint_dir is None:
+        raise ValueError("REPRO_CHECKPOINT_EVERY needs REPRO_CHECKPOINT_DIR")
+    resume = _env_flag("REPRO_RESUME", os.environ.get("REPRO_RESUME"))
+    return {
+        "checkpoint_every": every,
+        "checkpoint_dir": checkpoint_dir,
+        "resume": resume,
+    }
 
 
 def render_campaign(results: Sequence[CampaignResult]) -> str:

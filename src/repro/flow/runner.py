@@ -1,16 +1,23 @@
-"""Parallel, cached execution of independent experiment points.
+"""Parallel, cached, crash-tolerant execution of independent experiment points.
 
 Every sweep in the benchmarks decomposes into independent "build a NoC,
 run it, summarise" points.  :class:`ExperimentRunner` executes a batch
 of such points
 
-* **in parallel** across worker processes
-  (:class:`concurrent.futures.ProcessPoolExecutor`) when ``jobs > 1``,
+* **in parallel** across worker processes when ``jobs > 1`` -- one
+  short-lived process per point, so a worker that dies (segfault, OOM
+  kill, unhandled exception) takes down only its own point,
 * **memoized on disk** when a ``cache_dir`` is configured: each point's
   result is pickled under a sha256 key derived from the *identity* of
   the work (function qualname + arguments + salt), so re-generating
   figures after an unrelated edit costs nothing,
-* with a per-point wall-clock report either way.
+* **resiliently**: per-point wall-clock ``timeout``, bounded ``retries``
+  with exponential backoff, and a ``runs.jsonl`` journal in the cache
+  directory recording every completion and failure.  Results stream
+  into the cache and journal *as points finish*, so killing a sweep
+  mid-flight loses none of the completed points -- re-running with the
+  same cache directory (or ``resume=True``) picks up where it stopped.
+  See ``docs/CHECKPOINT.md`` and ``docs/RESILIENCE.md``.
 
 The cache key is built by :func:`stable_repr`, which canonicalises
 dataclasses, enums, dicts/sets (sorted), callables (by qualname) and
@@ -21,9 +28,10 @@ and the key changes.  See ``docs/PERFORMANCE.md`` for the rules and for
 what is deliberately *not* hashed (code bodies: delete the cache
 directory after editing measurement code).
 
-Both knobs default off (``jobs=1``, no cache), so existing sequential
-behaviour is unchanged unless a caller -- or ``python -m repro figures
---jobs N --cache DIR`` via :meth:`ExperimentRunner.from_env` -- opts in.
+All knobs default off (``jobs=1``, no cache, no timeout, no retries),
+so existing sequential behaviour is unchanged unless a caller -- or
+``python -m repro figures --jobs N --cache DIR`` via
+:meth:`ExperimentRunner.from_env` -- opts in.
 """
 
 from __future__ import annotations
@@ -32,19 +40,29 @@ import dataclasses
 import enum
 import functools
 import hashlib
+import json
+import multiprocessing
 import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 #: Bumped when the library changes in ways that invalidate cached
 #: results wholesale (e.g. measurement-semantics fixes).  v2: sweep
 #: points now carry a :class:`RunManifest`, so pre-manifest pickles must
 #: not be served.
 CACHE_VERSION = 2
+
+#: Kinds a :class:`PointFailure` can carry: the worker function raised,
+#: exceeded the wall-clock ``timeout``, or the worker process died
+#: without reporting (segfault / OOM kill / SIGKILL).
+FAILURE_KINDS = ("error", "timeout", "crash")
 
 
 def stable_repr(obj: Any) -> str:
@@ -94,14 +112,37 @@ def stable_repr(obj: Any) -> str:
     return f"opaque({type(obj).__module__}.{type(obj).__qualname__})"
 
 
-def _timed_call(fn: Callable[[Any], Any], point: Any) -> "tuple[float, Any]":
-    """Run one point in a worker, returning (seconds, result).
+def _pipe_worker(conn, fn: Callable[[Any], Any], point: Any) -> None:
+    """Worker-process entry: run one point, report through the pipe.
 
-    Module-level so it pickles into :class:`ProcessPoolExecutor` workers.
+    Sends ``("ok", seconds, result)`` on success.  On any exception
+    sends ``("error", seconds, exc, summary, traceback_text)``, falling
+    back to ``exc=None`` when the exception itself does not pickle.  If
+    the process dies before sending anything (segfault, SIGKILL) the
+    parent sees EOF and classifies the point as a crash.
     """
     t0 = time.perf_counter()
-    result = fn(point)
-    return time.perf_counter() - t0, result
+    try:
+        result = fn(point)
+        conn.send(("ok", time.perf_counter() - t0, result))
+    except BaseException as exc:  # noqa: BLE001 -- report, parent decides
+        seconds = time.perf_counter() - t0
+        summary = f"{type(exc).__name__}: {exc}"
+        tb = traceback.format_exc()
+        try:
+            conn.send(("error", seconds, exc, summary, tb))
+        except Exception:
+            # The exception (or its payload) does not pickle; downgrade
+            # to text so the parent still learns what happened.
+            try:
+                conn.send(("error", seconds, None, summary, tb))
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 @dataclass
@@ -112,6 +153,41 @@ class PointReport:
     key: str
     seconds: float
     cached: bool
+
+
+@dataclass
+class PointFailure:
+    """One point that exhausted its attempts -- with a repro bundle.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`.  ``point_repr`` /
+    ``fn_repr`` are the :func:`stable_repr` of the inputs -- together
+    with the cache key they identify the exact work to re-run in
+    isolation (``runner.map(fn, [the_point])``).
+    """
+
+    label: str
+    key: str
+    kind: str
+    message: str
+    attempts: int
+    seconds: float
+    point_repr: str
+    fn_repr: str
+    traceback: str = ""
+
+    def as_record(self) -> Dict[str, Any]:
+        """JSON-serialisable journal form."""
+        return {
+            "status": "failed",
+            "label": self.label,
+            "key": self.key,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+            "point": self.point_repr,
+            "fn": self.fn_repr,
+        }
 
 
 @dataclass(frozen=True)
@@ -146,6 +222,18 @@ class RunManifest:
         )
 
 
+def _env_flag(name: str, raw: Optional[str]) -> bool:
+    """Parse a boolean environment variable strictly."""
+    if raw is None or raw == "":
+        return False
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"{name} must be a boolean flag (0/1/true/false), got {raw!r}")
+
+
 @dataclass
 class ExperimentRunner:
     """Fan independent experiment points out; memoize their results.
@@ -155,31 +243,91 @@ class ExperimentRunner:
     jobs:
         Worker process count; ``1`` (default) runs inline in this
         process, which keeps everything debuggable and imposes no
-        picklability requirement.
+        picklability requirement.  With ``jobs > 1`` each point runs in
+        its own short-lived process, so a dying worker is isolated.
     cache_dir:
         Directory for pickled results; ``None`` (default) disables
-        memoization.  Created on first use.
+        memoization.  Created on first use.  Also hosts the
+        ``runs.jsonl`` journal.
     salt:
         Extra string mixed into every cache key -- a manual
         invalidation lever for callers.
+    timeout:
+        Per-point wall-clock limit in seconds.  Enforced only when
+        ``jobs > 1`` (a timed-out worker is terminated); inline
+        execution cannot be preempted and ignores it.
+    retries:
+        How many times a failed point is re-attempted (so a point runs
+        at most ``retries + 1`` times).  Re-attempts are delayed by
+        ``backoff * 2**attempt`` seconds.
+    backoff:
+        Base delay for the exponential retry backoff, in seconds.
+    on_failure:
+        ``"raise"`` (default): after *all* points have finished (so
+        completed siblings are cached and journaled), re-raise the
+        first failure's exception.  ``"record"``: never raise; failed
+        points yield ``None`` results and a :class:`PointFailure` in
+        ``failures``.
+    resume:
+        Consult the ``runs.jsonl`` journal before running: points whose
+        key is journaled ``ok`` (and whose cached pickle is readable)
+        are served without recomputation and counted in
+        ``resumed_points``.
+    metrics:
+        Optional :class:`repro.telemetry.registry.MetricsRegistry`;
+        when set, ``runner.retries`` / ``runner.timeouts`` /
+        ``runner.crashes`` / ``runner.failures`` /
+        ``runner.corrupt_cache_entries`` counters are kept there too.
     """
 
     jobs: int = 1
     cache_dir: Optional[str] = None
     salt: str = ""
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.5
+    on_failure: str = "raise"
+    resume: bool = False
+    metrics: Optional[Any] = None
     reports: List[PointReport] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    retry_count: int = 0
+    timeout_count: int = 0
+    crash_count: int = 0
+    failure_count: int = 0
+    corrupt_cache_entries: int = 0
+    resumed_points: int = 0
     #: Per-point provenance for the most recent :meth:`map` call, in
     #: input order (unlike ``reports``, which accumulates across calls
-    #: in completion order).
+    #: in completion order).  Failed points carry no manifest.
     last_manifests: List[RunManifest] = field(default_factory=list)
+    _warned_corrupt: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be a positive worker count, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive seconds, got {self.timeout}")
+        if self.on_failure not in ("raise", "record"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'record', got {self.on_failure!r}"
+            )
 
     @classmethod
     def from_env(cls) -> "ExperimentRunner":
-        """Build from ``REPRO_JOBS`` / ``REPRO_CACHE`` (the channel
-        ``python -m repro figures --jobs N --cache DIR`` uses to reach
-        runners inside pytest-collected benchmarks)."""
+        """Build from the ``REPRO_*`` environment (the channel ``python
+        -m repro figures --jobs N --cache DIR`` uses to reach runners
+        inside pytest-collected benchmarks).
+
+        Recognised: ``REPRO_JOBS`` (positive int), ``REPRO_CACHE``
+        (directory), ``REPRO_TIMEOUT`` (seconds), ``REPRO_RETRIES``
+        (non-negative int), ``REPRO_RESUME`` (boolean flag).  Invalid
+        values raise :class:`ValueError` naming the variable.
+        """
         raw = os.environ.get("REPRO_JOBS", "1") or "1"
         try:
             jobs = int(raw)
@@ -187,8 +335,49 @@ class ExperimentRunner:
             raise ValueError(
                 f"REPRO_JOBS must be an integer worker count, got {raw!r}"
             ) from None
+        if jobs <= 0:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive worker count (>= 1), got {jobs}"
+            )
         cache = os.environ.get("REPRO_CACHE") or None
-        return cls(jobs=max(jobs, 1), cache_dir=cache)
+        raw_timeout = os.environ.get("REPRO_TIMEOUT") or None
+        timeout: Optional[float] = None
+        if raw_timeout is not None:
+            try:
+                timeout = float(raw_timeout)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_TIMEOUT must be seconds (a number), got {raw_timeout!r}"
+                ) from None
+            if timeout <= 0:
+                raise ValueError(
+                    f"REPRO_TIMEOUT must be positive seconds, got {raw_timeout!r}"
+                )
+        raw_retries = os.environ.get("REPRO_RETRIES", "0") or "0"
+        try:
+            retries = int(raw_retries)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_RETRIES must be a non-negative integer, got {raw_retries!r}"
+            ) from None
+        if retries < 0:
+            raise ValueError(
+                f"REPRO_RETRIES must be a non-negative integer, got {retries}"
+            )
+        resume = _env_flag("REPRO_RESUME", os.environ.get("REPRO_RESUME"))
+        return cls(
+            jobs=jobs,
+            cache_dir=cache,
+            timeout=timeout,
+            retries=retries,
+            resume=resume,
+        )
+
+    # -- telemetry --------------------------------------------------------
+    def _count(self, name: str, attr: str) -> None:
+        setattr(self, attr, getattr(self, attr) + 1)
+        if self.metrics is not None:
+            self.metrics.counter(f"runner.{name}").inc()
 
     # -- cache plumbing ---------------------------------------------------
     def _key(self, fn: Callable, point: Any) -> str:
@@ -204,10 +393,31 @@ class ExperimentRunner:
     def _cache_load(self, key: str) -> "tuple[bool, Any]":
         if self.cache_dir is None:
             return False, None
+        path = self._cache_path(key)
         try:
-            with open(self._cache_path(key), "rb") as f:
+            with open(path, "rb") as f:
                 return True, pickle.load(f)
-        except (OSError, pickle.PickleError, EOFError):
+        except FileNotFoundError:
+            return False, None
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # The entry exists but cannot be served: quarantine it so
+            # the evidence survives for debugging and the recomputed
+            # result can be published cleanly at the original path.
+            self._count("corrupt_cache_entries", "corrupt_cache_entries")
+            try:
+                os.replace(path, f"{path[:-len('.pkl')]}.corrupt")
+            except OSError:
+                pass
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                warnings.warn(
+                    f"experiment cache entry {key[:12]}... in {self.cache_dir} "
+                    "is unreadable; quarantined as *.corrupt and recomputing "
+                    "(further corrupt entries this run are counted silently)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return False, None
 
     def _cache_store(self, key: str, result: Any) -> None:
@@ -227,23 +437,101 @@ class ExperimentRunner:
                 pass
             raise
 
+    # -- journal ----------------------------------------------------------
+    @property
+    def journal_path(self) -> Optional[str]:
+        """``runs.jsonl`` inside the cache directory (None when uncached)."""
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, "runs.jsonl")
+
+    def _journal_append(self, record: Dict[str, Any]) -> None:
+        path = self.journal_path
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write(line + "\n")
+            f.flush()
+
+    def journal_entries(self) -> Dict[str, Dict[str, Any]]:
+        """Latest journal record per cache key (empty when uncached).
+
+        Torn trailing lines (a run killed mid-write) are skipped, not
+        fatal: the journal is an append-only ledger and every complete
+        line stands on its own.
+        """
+        path = self.journal_path
+        if path is None or not os.path.exists(path):
+            return {}
+        entries: Dict[str, Dict[str, Any]] = {}
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(rec, dict) and "key" in rec:
+                    entries[rec["key"]] = rec
+        return entries
+
     # -- execution --------------------------------------------------------
-    def map(self, fn: Callable[[Any], Any], points: Sequence[Any], label: str = "point") -> List[Any]:
-        """``[fn(p) for p in points]`` with caching and parallelism.
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any],
+        label: str = "point",
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        on_failure: Optional[str] = None,
+        resume: Optional[bool] = None,
+    ) -> List[Any]:
+        """``[fn(p) for p in points]`` with caching, parallelism and
+        failure isolation.
 
         Results come back in input order.  ``fn`` must be a module-level
         callable (or :func:`functools.partial` over one) when
-        ``jobs > 1`` so worker processes can unpickle it; its arguments
-        should be stable_repr-hashable when caching is on.
+        ``jobs > 1`` so worker processes can run it; its arguments
+        should be stable_repr-hashable when caching is on.  The keyword
+        arguments override the runner's instance-level defaults for
+        this call only.
+
+        Completed points are cached and journaled the moment they
+        finish, *before* the batch ends -- a killed sweep loses nothing
+        already done.  A failing point (exception, timeout, or worker
+        death) is retried up to ``retries`` times with exponential
+        backoff; a point that exhausts its attempts becomes a
+        :class:`PointFailure` and, under ``on_failure="raise"``, the
+        first failure is re-raised only after every sibling has
+        finished.
         """
+        eff_timeout = self.timeout if timeout is None else timeout
+        eff_retries = self.retries if retries is None else retries
+        eff_on_failure = self.on_failure if on_failure is None else on_failure
+        eff_resume = self.resume if resume is None else resume
+        if eff_on_failure not in ("raise", "record"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'record', got {eff_on_failure!r}"
+            )
+        if eff_retries < 0:
+            raise ValueError(f"retries must be >= 0, got {eff_retries}")
+
         keys = [self._key(fn, p) for p in points]
         results: List[Any] = [None] * len(points)
         manifests: List[Optional[RunManifest]] = [None] * len(points)
+        journal = self.journal_entries() if eff_resume else {}
         pending: List[int] = []
         for i, key in enumerate(keys):
             hit, value = self._cache_load(key)
             if hit:
                 self.cache_hits += 1
+                if eff_resume and journal.get(key, {}).get("status") == "ok":
+                    self._count("resumed_points", "resumed_points")
                 results[i] = value
                 manifests[i] = RunManifest.local(key, cached=True, seconds=0.0)
                 self.reports.append(
@@ -253,42 +541,233 @@ class ExperimentRunner:
                 self.cache_misses += 1
                 pending.append(i)
 
+        first_exc: Optional[BaseException] = None
+
+        def finish_ok(i: int, attempts: int, seconds: float, result: Any) -> None:
+            results[i] = result
+            manifests[i] = RunManifest.local(keys[i], cached=False, seconds=seconds)
+            self.reports.append(
+                PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
+            )
+            self._cache_store(keys[i], result)
+            self._journal_append(
+                {
+                    "status": "ok",
+                    "label": f"{label}[{i}]",
+                    "key": keys[i],
+                    "seconds": round(seconds, 6),
+                    "attempts": attempts,
+                }
+            )
+
+        def finish_failed(
+            i: int,
+            attempts: int,
+            seconds: float,
+            kind: str,
+            message: str,
+            exc: Optional[BaseException],
+            tb: str = "",
+        ) -> None:
+            nonlocal first_exc
+            failure = PointFailure(
+                label=f"{label}[{i}]",
+                key=keys[i],
+                kind=kind,
+                message=message,
+                attempts=attempts,
+                seconds=seconds,
+                point_repr=stable_repr(points[i]),
+                fn_repr=stable_repr(fn),
+                traceback=tb,
+            )
+            self.failures.append(failure)
+            self._count("failures", "failure_count")
+            self._journal_append(failure.as_record())
+            if eff_on_failure == "raise" and first_exc is None:
+                first_exc = exc if exc is not None else RuntimeError(
+                    f"{failure.label} {kind} after {attempts} attempt(s): {message}"
+                )
+
         if pending and self.jobs > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                futures = {i: pool.submit(_timed_call, fn, points[i]) for i in pending}
-                for i in pending:
-                    seconds, results[i] = futures[i].result()
-                    manifests[i] = RunManifest.local(
-                        keys[i], cached=False, seconds=seconds
-                    )
-                    self.reports.append(
-                        PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
-                    )
-                    self._cache_store(keys[i], results[i])
+            self._run_pool(
+                fn, points, keys, pending, label,
+                eff_timeout, eff_retries, finish_ok, finish_failed,
+            )
         else:
             for i in pending:
-                t0 = time.perf_counter()
-                results[i] = fn(points[i])
-                seconds = time.perf_counter() - t0
-                manifests[i] = RunManifest.local(
-                    keys[i], cached=False, seconds=seconds
-                )
-                self.reports.append(
-                    PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
-                )
-                self._cache_store(keys[i], results[i])
+                attempts = 0
+                while True:
+                    attempts += 1
+                    t0 = time.perf_counter()
+                    try:
+                        result = fn(points[i])
+                    except Exception as exc:
+                        seconds = time.perf_counter() - t0
+                        if attempts <= eff_retries:
+                            self._count("retries", "retry_count")
+                            time.sleep(self.backoff * (2 ** (attempts - 1)))
+                            continue
+                        finish_failed(
+                            i, attempts, seconds, "error",
+                            f"{type(exc).__name__}: {exc}", exc,
+                            traceback.format_exc(),
+                        )
+                        break
+                    seconds = time.perf_counter() - t0
+                    finish_ok(i, attempts, seconds, result)
+                    break
+
         self.last_manifests = [m for m in manifests if m is not None]
+        if first_exc is not None:
+            raise first_exc
         return results
+
+    def _run_pool(
+        self,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any],
+        keys: List[str],
+        pending: List[int],
+        label: str,
+        eff_timeout: Optional[float],
+        eff_retries: int,
+        finish_ok: Callable,
+        finish_failed: Callable,
+    ) -> None:
+        """One process per point with timeout/crash isolation.
+
+        A hand-rolled pool instead of :class:`ProcessPoolExecutor`
+        because the executor cannot survive a dying worker: one SIGKILL
+        poisons the whole pool (``BrokenProcessPool``) and aborts the
+        sweep.  Here each point owns a process and a pipe; a death or
+        deadline affects only that point.
+        """
+        ctx = multiprocessing.get_context()
+        ready_queue = deque((i, 1) for i in pending)  # (index, attempt_no)
+        delayed: List["tuple[float, int, int]"] = []  # (not_before, index, attempt)
+        running: Dict[Any, "tuple[int, int, Any, float]"] = {}  # conn -> (i, attempt, proc, started)
+
+        def handle_failure(i: int, attempt: int, seconds: float, kind: str,
+                           message: str, exc: Optional[BaseException], tb: str) -> None:
+            if kind == "timeout":
+                self._count("timeouts", "timeout_count")
+            elif kind == "crash":
+                self._count("crashes", "crash_count")
+            if attempt <= eff_retries:
+                self._count("retries", "retry_count")
+                not_before = time.monotonic() + self.backoff * (2 ** (attempt - 1))
+                delayed.append((not_before, i, attempt + 1))
+            else:
+                finish_failed(i, attempt, seconds, kind, message, exc, tb)
+
+        try:
+            while ready_queue or delayed or running:
+                now = time.monotonic()
+                if delayed:
+                    due = [d for d in delayed if d[0] <= now]
+                    delayed = [d for d in delayed if d[0] > now]
+                    for _, i, attempt in sorted(due, key=lambda d: d[1]):
+                        ready_queue.append((i, attempt))
+                while ready_queue and len(running) < self.jobs:
+                    i, attempt = ready_queue.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_pipe_worker, args=(child_conn, fn, points[i]),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    running[parent_conn] = (i, attempt, proc, time.monotonic())
+                if not running:
+                    if delayed:
+                        time.sleep(max(0.0, min(d[0] for d in delayed) - time.monotonic()))
+                    continue
+
+                # Bound the wait by the nearest deadline / backoff expiry.
+                wait_for = 0.2
+                now = time.monotonic()
+                if eff_timeout is not None:
+                    nearest = min(started + eff_timeout for _, _, _, started in running.values())
+                    wait_for = min(wait_for, max(0.0, nearest - now))
+                if delayed:
+                    wait_for = min(wait_for, max(0.0, min(d[0] for d in delayed) - now))
+                ready = _connection_wait(list(running), timeout=wait_for)
+
+                for conn in ready:
+                    i, attempt, proc, started = running.pop(conn)
+                    seconds = time.monotonic() - started
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    conn.close()
+                    proc.join()
+                    if msg is None:
+                        code = proc.exitcode
+                        handle_failure(
+                            i, attempt, seconds, "crash",
+                            f"worker died without reporting (exitcode {code})",
+                            None, "",
+                        )
+                    elif msg[0] == "ok":
+                        _, fn_seconds, result = msg
+                        finish_ok(i, attempt, fn_seconds, result)
+                    else:
+                        _, fn_seconds, exc, summary, tb = msg
+                        handle_failure(i, attempt, fn_seconds, "error", summary, exc, tb)
+
+                if eff_timeout is None:
+                    continue
+                now = time.monotonic()
+                for conn, (i, attempt, proc, started) in list(running.items()):
+                    if now - started < eff_timeout:
+                        continue
+                    running.pop(conn)
+                    proc.terminate()
+                    proc.join(1.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join()
+                    conn.close()
+                    handle_failure(
+                        i, attempt, now - started, "timeout",
+                        f"exceeded {eff_timeout:g}s wall-clock limit", None, "",
+                    )
+        finally:
+            # Never leak workers, whatever interrupted the loop.
+            for _, (_, _, proc, _) in list(running.items()):
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(1.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join()
 
     # -- reporting --------------------------------------------------------
     def render_report(self, title: str = "experiment runner") -> str:
-        """Per-point wall-clock table plus hit/miss totals."""
+        """Per-point wall-clock table plus hit/miss and failure totals."""
         lines = [
             f"{title}: jobs={self.jobs} "
             f"cache={'off' if self.cache_dir is None else self.cache_dir} "
             f"hits={self.cache_hits} misses={self.cache_misses}",
         ]
+        if (self.retry_count or self.timeout_count or self.crash_count
+                or self.failure_count or self.corrupt_cache_entries
+                or self.resumed_points):
+            lines.append(
+                f"  resilience: retries={self.retry_count} "
+                f"timeouts={self.timeout_count} crashes={self.crash_count} "
+                f"failures={self.failure_count} "
+                f"corrupt_cache_entries={self.corrupt_cache_entries} "
+                f"resumed={self.resumed_points}"
+            )
         for r in self.reports:
             status = "cached" if r.cached else f"{r.seconds:8.3f}s"
             lines.append(f"  {r.label:<28} {status:>10}  {r.key[:12]}")
+        for f in self.failures:
+            lines.append(
+                f"  {f.label:<28} {'FAILED':>10}  {f.key[:12]} "
+                f"[{f.kind} x{f.attempts}] {f.message}"
+            )
         return "\n".join(lines)

@@ -29,6 +29,7 @@ Public surface:
 from repro.sim.channel import AckSignal, FlitChannel, Wire
 from repro.sim.component import Component
 from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.snapshot import SNAPSHOT_VERSION, SimSnapshot, SnapshotError
 from repro.sim.stats import Counter, LatencySampler, ThroughputMeter
 from repro.sim.trace import NullTracer, TextTracer, Tracer
 
@@ -39,8 +40,11 @@ __all__ = [
     "FlitChannel",
     "LatencySampler",
     "NullTracer",
+    "SNAPSHOT_VERSION",
+    "SimSnapshot",
     "SimulationError",
     "Simulator",
+    "SnapshotError",
     "TextTracer",
     "ThroughputMeter",
     "Tracer",

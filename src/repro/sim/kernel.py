@@ -282,9 +282,44 @@ class Simulator:
         self.cycle = cyc + 1
 
     def run(self, cycles: int) -> None:
-        """Advance ``cycles`` clock cycles."""
+        """Advance ``cycles`` clock cycles.
+
+        Rejects negative cycle counts -- a silent no-op there has
+        historically hidden sign bugs in sweep arithmetic.
+        """
+        if cycles < 0:
+            raise SimulationError(
+                f"run() needs a non-negative cycle count, got {cycles}"
+            )
         for _ in range(cycles):
             self.step()
+
+    # -- checkpoint/restore ------------------------------------------------
+    def snapshot(self, extras: Optional[dict] = None):
+        """Freeze the simulator at its current cycle boundary.
+
+        Returns a :class:`~repro.sim.snapshot.SimSnapshot` capturing the
+        cycle counter, all wire registers, all component state, the
+        fast-path scheduler's wake set and hot-wire list, and the
+        process-global id counters.  ``extras`` is caller bookkeeping
+        stored alongside (returned by :meth:`restore`).  See
+        ``docs/CHECKPOINT.md``.
+        """
+        from repro.sim.snapshot import snapshot_simulator
+
+        return snapshot_simulator(self, extras)
+
+    def restore(self, snap) -> dict:
+        """Load a :class:`~repro.sim.snapshot.SimSnapshot` into this
+        simulator, which must be structurally identical to the captured
+        one (rebuild it with the original construction code first).
+        Discards all current runtime state; returns the snapshot's
+        extras.  Continuing from here is cycle-identical to the
+        uninterrupted run.
+        """
+        from repro.sim.snapshot import restore_simulator
+
+        return restore_simulator(self, snap)
 
     def run_until(
         self,

@@ -2,10 +2,52 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.config import NocParameters
 from repro.sim.kernel import Simulator
+
+#: Ceiling for any single test unless it opts into more via
+#: ``@pytest.mark.timeout_guard(seconds)``.  Generous on purpose: the
+#: guard exists to turn a hung simulation or a wedged worker pool into
+#: a failing test instead of a hung CI job, not to police slowness.
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _timeout_guard(request):
+    """Per-test wall-clock guard (no pytest-timeout dependency).
+
+    Uses ``SIGALRM``/``setitimer``, so it is active only on platforms
+    that have them and only in the main thread -- exactly the situation
+    of this test suite.  A ``timeout_guard`` marker overrides the
+    default budget for legitimately long tests.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout_guard")
+    seconds = DEFAULT_TEST_TIMEOUT
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds:g}s timeout guard "
+            "(mark it @pytest.mark.timeout_guard(N) if it is "
+            "legitimately long)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

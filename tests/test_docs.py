@@ -172,6 +172,42 @@ class TestResilienceDoc:
             exec(compile(block, f"RESILIENCE-snippet-{i}", "exec"), {})
 
 
+class TestCheckpointDoc:
+    PATH = os.path.join(ROOT, "docs", "CHECKPOINT.md")
+
+    def test_exists_and_is_cross_linked(self):
+        assert os.path.exists(self.PATH)
+        for doc in (
+            os.path.join("docs", "RESILIENCE.md"),
+            os.path.join("docs", "PERFORMANCE.md"),
+        ):
+            with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+                assert "CHECKPOINT.md" in f.read(), f"{doc} must link the guide"
+
+    def test_covers_the_contract(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        for term in (
+            # snapshot contract + format
+            "SimSnapshot", "SnapshotError", "snapshot()", "restore(",
+            "SNAPSHOT_STRUCTURAL", "SNAPSHOT_VERSION", "sha256",
+            "verify_checkpoint", "stats_digest",
+            # hardened runner
+            "runs.jsonl", "timeout", "retries", "PointFailure",
+            "on_failure", "corrupt", "journal_entries",
+            # campaign + CLI + CI
+            "checkpoint_every", "--checkpoint-every", "--resume",
+            "REPRO_CHECKPOINT_EVERY", "checkpoint-smoke", "timeout_guard",
+        ):
+            assert term in text, term
+
+    def test_every_python_block_runs(self):
+        blocks = extract_python_blocks(self.PATH)
+        assert len(blocks) >= 3, "the guide promises runnable snippets"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"CHECKPOINT-snippet-{i}", "exec"), {})
+
+
 class TestExperimentsDoc:
     def test_mentions_every_figure(self):
         with open(os.path.join(ROOT, "EXPERIMENTS.md"), encoding="utf-8") as f:

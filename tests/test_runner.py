@@ -88,8 +88,10 @@ class TestCache:
         for p in tmp_path.glob("*.pkl"):
             p.write_bytes(b"not a pickle")
         again = ExperimentRunner(cache_dir=str(tmp_path))
-        assert again.map(_square, [3]) == [9]
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert again.map(_square, [3]) == [9]
         assert again.cache_misses == 1
+        assert again.corrupt_cache_entries == 1
 
     def test_parallel_runs_populate_the_cache(self, tmp_path):
         runner = ExperimentRunner(jobs=2, cache_dir=str(tmp_path))
