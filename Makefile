@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke checkpoint-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 
 # Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
@@ -38,3 +38,9 @@ faults-smoke:
 # docs/CHECKPOINT.md.
 checkpoint-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/checkpoint_smoke.py
+
+# Compiled-kernel pulse-check: codegen the standard 4x4 mesh, run it
+# against the interpreted loop, require byte-identical digests.  See
+# docs/PERFORMANCE.md and benchmarks/kernel_smoke.py.
+kernel-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/kernel_smoke.py

@@ -8,6 +8,7 @@ asserts the *shape* claims the paper makes (orderings, growth, ranges).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable
 
@@ -37,3 +38,19 @@ def emit(figure: str, lines: Iterable[str]) -> str:
     with open(path, "w", encoding="utf-8") as f:
         f.write(text + "\n")
     return text
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark record under results/.
+
+    The textual ``emit`` rows are for humans; tooling that tracks
+    performance over time (or gates a CI lane on a ratio) wants stable
+    keys instead of parsing aligned columns.  Written with sorted keys
+    so diffs of consecutive runs stay readable.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

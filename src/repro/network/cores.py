@@ -111,7 +111,7 @@ class OcpTrafficMaster(Component):
             issue_cycle=cycle,
         )
 
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int, _predrawn_inject: bool = False) -> None:
         # Request side: hold the pending transaction until accepted.
         if self._pending is not None:
             if self.port.accepted_request_id() == self._pending.txn_id:
@@ -121,7 +121,13 @@ class OcpTrafficMaster(Component):
                 self.port.drive_request(self._pending)
         if self._pending is None and len(self._in_flight) < self.max_outstanding:
             if self.max_transactions is None or self.issued < self.max_transactions:
-                template = self.pattern.next_transaction(cycle)
+                if _predrawn_inject:
+                    # The compiled kernel's master lane already consumed
+                    # (and passed) this cycle's Bernoulli gate draw; only
+                    # the remaining draws happen here, in the same order.
+                    template = self.pattern._next_transaction_predrawn(cycle)
+                else:
+                    template = self.pattern.next_transaction(cycle)
                 if template is not None:
                     txn = self._build_txn(template, cycle)
                     self._pending = txn

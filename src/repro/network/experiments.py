@@ -12,8 +12,9 @@ Sweeps decompose into independent per-rate measurements
 over worker processes and memoizes each on disk.  Everything passed to
 the runner must be picklable and hashable; :class:`TopologyNocBuilder`
 is the ready-made builder that satisfies both.  :func:`verify_fast_path`
-is the cross-check mode for the kernel's activity-tracked scheduler: it
-runs the same workload with ``fast_path`` on and off and insists on
+is the cross-check mode for the kernel's schedulers: it runs the same
+workload under each requested kernel (activity-tracked fast path,
+classical interpreted loop, compiled codegen) and insists on
 byte-identical statistics digests (see ``docs/PERFORMANCE.md``).
 """
 
@@ -190,25 +191,33 @@ def verify_fast_path(
     max_outstanding: int = 4,
     seed: int = 0,
     attach: Optional[Callable[["Noc"], None]] = None,
+    kernels: Sequence[str] = ("fast", "interpreted"),
 ) -> str:
-    """Cross-check the kernel's fast path against the full-tick loop.
+    """Cross-check the simulator's scheduler modes against each other.
 
-    Builds the same core-less NoC twice, attaches identical traffic,
-    forces the second instance onto the classical tick-everything
-    scheduler, runs both for ``cycles``, and compares their
+    Builds the same core-less NoC once per entry in ``kernels``,
+    attaches identical traffic, runs each instance for ``cycles`` under
+    its kernel, and compares their
     :meth:`~repro.network.noc.Noc.stats_digest`.  Raises
     :class:`~repro.sim.kernel.SimulationError` on any divergence and
-    returns the (common) digest otherwise.
+    returns the (common) digest otherwise.  The default pair preserves
+    the historical fast-vs-interpreted check; pass
+    ``kernels=("compiled", "fast", "interpreted")`` for the full
+    three-way equivalence proof (the compiled instance is elaborated
+    eagerly, so non-compilable components fail loudly instead of
+    silently falling back).
 
     ``attach``, when given, is called on each freshly built NoC before
     traffic is populated -- the hook fault campaigns use to arm a
-    :class:`~repro.faults.FaultInjector` on both instances and prove the
+    :class:`~repro.faults.FaultInjector` on every instance and prove the
     quiescence contract holds while fault windows open and close.
     """
-    digests = []
-    for fast in (True, False):
+    if len(kernels) < 2:
+        raise ValueError(f"need at least two kernels to compare, got {kernels!r}")
+    digests = {}
+    for kern in kernels:
         noc = build_noc()
-        noc.sim.set_fast_path(fast)
+        noc.sim.set_kernel(kern)
         if attach is not None:
             attach(noc)
         targets = noc.topology.targets
@@ -220,14 +229,18 @@ def verify_fast_path(
             },
             max_outstanding=max_outstanding,
         )
+        if kern == "compiled":
+            noc.sim.compile()  # eager: fail loudly, after attach/populate
         noc.run(cycles)
-        digests.append(noc.stats_digest())
-    if digests[0] != digests[1]:
-        raise SimulationError(
-            f"fast-path divergence after {cycles} cycles: "
-            f"fast={digests[0][:16]}... full={digests[1][:16]}..."
-        )
-    return digests[0]
+        digests[kern] = noc.stats_digest()
+    want = digests[kernels[0]]
+    for kern, got in digests.items():
+        if got != want:
+            raise SimulationError(
+                f"kernel divergence after {cycles} cycles: "
+                f"{kernels[0]}={want[:16]}... {kern}={got[:16]}..."
+            )
+    return want
 
 
 def verify_checkpoint(
@@ -239,6 +252,8 @@ def verify_checkpoint(
     seed: int = 0,
     attach: Optional[Callable[["Noc"], None]] = None,
     fast_path: bool = True,
+    kernel: Optional[str] = None,
+    restore_kernel: Optional[str] = None,
 ) -> str:
     """Cross-check snapshot/restore against an uninterrupted run.
 
@@ -250,6 +265,15 @@ def verify_checkpoint(
     restored run's :meth:`~repro.network.noc.Noc.stats_digest` diverges
     from the reference; returns the (common) digest otherwise.
 
+    ``kernel`` names the scheduler mode (overriding the legacy
+    ``fast_path`` flag); ``restore_kernel``, when given, runs the
+    *restored* instance under a different mode than the one that took
+    the snapshot -- the cross-kernel restore proof (snapshots are
+    kernel-agnostic; see ``docs/CHECKPOINT.md``).  The reference still
+    runs entirely under ``kernel``: mode equivalence is
+    :func:`verify_fast_path`'s job, so a divergence seen here indicts
+    checkpointing specifically.
+
     ``attach`` plays the same role as in :func:`verify_fast_path`:
     called on every freshly built NoC before traffic is populated, so
     fault campaigns can arm an identical
@@ -260,10 +284,12 @@ def verify_checkpoint(
         raise ValueError(
             f"need 0 < snapshot_at < cycles, got {snapshot_at} / {cycles}"
         )
+    if kernel is None:
+        kernel = "fast" if fast_path else "interpreted"
 
-    def build():
+    def build(kern=kernel):
         noc = build_noc()
-        noc.sim.set_fast_path(fast_path)
+        noc.sim.set_kernel(kern)
         if attach is not None:
             attach(noc)
         targets = noc.topology.targets
@@ -285,7 +311,7 @@ def verify_checkpoint(
     donor.run(snapshot_at)
     snap = donor.sim.snapshot()
 
-    restored = build()
+    restored = build(restore_kernel if restore_kernel is not None else kernel)
     restored.sim.restore(snap)
     restored.run(cycles - snapshot_at)
     got = restored.stats_digest()

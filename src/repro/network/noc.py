@@ -91,6 +91,11 @@ class NocBuildConfig:
     #: are cycle-identical either way (checked by
     #: :func:`repro.network.experiments.verify_fast_path`).
     fast_path: bool = True
+    #: Explicit scheduler mode ("interpreted", "fast" or "compiled");
+    #: overrides ``fast_path`` when set.  "compiled" elaborates lazily
+    #: on the first run -- call ``noc.sim.compile()`` to elaborate
+    #: eagerly and fail fast on non-compilable components.
+    kernel: Optional[str] = None
 
     def link_for(self, a: str, b: str) -> LinkConfig:
         """The link configuration between two elements."""
@@ -110,6 +115,8 @@ class Noc:
         self.topology = topology
         self.config = config or NocBuildConfig()
         self.sim = Simulator(tracer, fast_path=self.config.fast_path)
+        if self.config.kernel is not None:
+            self.sim.set_kernel(self.config.kernel)
         params = self.config.params
 
         all_nis = topology.initiators + topology.targets

@@ -81,6 +81,23 @@ class UniformRandomTraffic(TrafficPattern):
             burst_len=self.burst_len,
         )
 
+    def _next_transaction_predrawn(self, cycle: int) -> TxnTemplate:
+        """The tail of :meth:`next_transaction` after a passed gate draw.
+
+        The compiled kernel's master lane (:mod:`repro.sim.compiled`)
+        hoists the per-cycle Bernoulli gate (``rng.random() < rate``)
+        out of the component tick; when the gate passes it calls this to
+        produce the transaction with the remaining draws in the exact
+        order :meth:`next_transaction` would have made them, keeping the
+        RNG stream identical draw-for-draw across kernel modes.
+        """
+        return TxnTemplate(
+            target=self._rng.choice(self.targets),
+            offset=self._rng.randrange(self.max_offset),
+            is_read=self._rng.random() < self.read_fraction,
+            burst_len=self.burst_len,
+        )
+
 
 class HotspotTraffic(UniformRandomTraffic):
     """Uniform random, except a fraction of traffic hits one hot target."""

@@ -28,16 +28,20 @@ Public surface:
 
 from repro.sim.channel import AckSignal, FlitChannel, Wire
 from repro.sim.component import Component
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.compiled import CompileError, CompiledProgram, compiled_source
+from repro.sim.kernel import KERNEL_MODES, SimulationError, Simulator
 from repro.sim.snapshot import SNAPSHOT_VERSION, SimSnapshot, SnapshotError
 from repro.sim.stats import Counter, LatencySampler, ThroughputMeter
 from repro.sim.trace import NullTracer, TextTracer, Tracer
 
 __all__ = [
     "AckSignal",
+    "CompileError",
+    "CompiledProgram",
     "Component",
     "Counter",
     "FlitChannel",
+    "KERNEL_MODES",
     "LatencySampler",
     "NullTracer",
     "SNAPSHOT_VERSION",
@@ -49,4 +53,5 @@ __all__ = [
     "ThroughputMeter",
     "Tracer",
     "Wire",
+    "compiled_source",
 ]

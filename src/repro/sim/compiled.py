@@ -1,0 +1,1242 @@
+"""The compiled tick kernel: static elaboration + unrolled codegen.
+
+An elaborated :class:`~repro.sim.kernel.Simulator` is a *static* graph:
+after construction, the component set, the wires, and the reader/driver
+relations never change (the registered-wire discipline the paper imposes
+for synthesizability guarantees it).  This module exploits that the way
+pymtl3's "mamba" pass pipeline does -- elaborate once, schedule
+statically, generate one specialized flat tick function per network --
+instead of paying Python object-walking and dynamic dispatch on every
+cycle.
+
+``compile_simulator`` walks the simulator once and emits Python source
+(one ``_build`` function assembled per-component) which is ``exec``'d
+and bound to the live objects.  The generated run loop keeps the fast
+path's activity tracking (awake set, hot-wire latching) but replaces the
+per-component ``tick`` dispatch with *lanes*:
+
+``switch``
+    Two-stage go-back-N switches: output stage, single-active-input cut
+    of the allocator (arbiters stay live so round-robin state matches),
+    and the wormhole commit -- all inlined, with the unconditional
+    ``repr(flit)`` trace argument elided (only legal under a
+    ``NullTracer``).
+``ni-initiator`` / ``ni-target``
+    Network interfaces on their idle path (no request, no arriving flit,
+    no queued responses) collapse to the back-end transmit pump; any
+    visible input falls back to the component's real ``tick``.
+``link``
+    Zero-latency fault-free links become two inlined wire moves; a live
+    fault override (``set_fault``) delegates to the real ``tick``.
+``master``
+    ``OcpTrafficMaster`` over exact ``UniformRandomTraffic``: the
+    per-cycle Bernoulli gate draw is hoisted into the generated loop
+    (unrolled per master with literal rate/window constants), so an idle
+    master costs one RNG draw and one compare instead of a full tick.
+    The RNG stream stays draw-for-draw identical (see
+    ``UniformRandomTraffic._next_transaction_predrawn``).
+``generic``
+    Everything else: the component's bound ``tick`` plus its
+    ``is_quiescent`` re-arm.  Probed components always take this lane so
+    probes observe exactly the ticks ``step()`` would have run.
+``always``
+    Components with no quiescence contract (fault injectors, progress
+    watchdogs) run every cycle, linear-merged with the woken set in
+    scheduling order -- mirroring ``step()``'s ``_always_active`` list.
+
+The compiled kernel is cycle-identical to both interpreted modes --
+digest-for-digest under ``verify_fast_path`` / ``verify_checkpoint``,
+including open fault windows and cross-kernel snapshot restore.  A
+component that opts out of the codegen contract (no quiescence contract,
+an instance-level ``tick`` override) raises :class:`CompileError` naming
+it; ``Simulator.compile(strict=False)`` records the reason and runs on
+the fast path instead.  Structural mutations (``add``/``wire``/
+``add_probe``/``reset``/``restore``) invalidate the program; it is
+re-elaborated on the next run.
+
+A numpy structure-of-arrays lane was considered and rejected: wires
+carry arbitrary Python objects (flits, ACK signals, OCP transactions),
+so there is no homogeneous register file to vectorize -- the win here
+is removing dispatch, not data layout.
+
+See ``docs/PERFORMANCE.md`` ("Compiled kernel") for the contract and
+measured speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.trace import NullTracer
+
+__all__ = ["CompileError", "CompiledProgram", "compile_simulator", "compiled_source"]
+
+
+class CompileError(SimulationError):
+    """A component disqualified the network from codegen (the message
+    names it and says why); the guarded fallback is the fast path."""
+
+
+class CompiledProgram:
+    """A code-generated flat run loop bound to one elaborated simulator.
+
+    Attributes
+    ----------
+    source:
+        The generated Python source (deterministic for a given network
+        structure; golden-filed by ``tests/test_codegen_golden.py``).
+    run:
+        ``run(cycles)`` -- the specialized loop, cycle-identical to
+        :meth:`Simulator.step` iterated.
+    rev:
+        The simulator structure revision this program was elaborated
+        against; any structural mutation makes it stale.
+    lane_of:
+        Component name -> lane name ("switch", "ni-initiator",
+        "ni-target", "link", "master", "generic").
+    lanes:
+        Lane name -> component count (a compile summary for tests and
+        benchmarks).
+    """
+
+    __slots__ = ("source", "run", "rev", "lane_of", "lanes")
+
+    def __init__(self, source, run, rev, lane_of):
+        self.source = source
+        self.run = run
+        self.rev = rev
+        self.lane_of: Dict[str, str] = dict(lane_of)
+        self.lanes: Dict[str, int] = {}
+        for lane in self.lane_of.values():
+            self.lanes[lane] = self.lanes.get(lane, 0) + 1
+
+    def __repr__(self) -> str:
+        summary = " ".join(f"{k}={v}" for k, v in sorted(self.lanes.items()))
+        return f"CompiledProgram(rev={self.rev}, {summary or 'empty'})"
+
+
+# ---------------------------------------------------------------------------
+# The static part of every generated module: the lane factories.  Each
+# factory binds one live component's state into locals once and returns
+# a ``thunk(cyc, nxt)`` that performs the component's cycle and re-arms
+# it in ``nxt`` exactly where ``Simulator.step`` would have.
+# ---------------------------------------------------------------------------
+
+_PRELUDE = '''\
+from repro.core.flit import FlitType, _clone as _FCLONE
+from repro.sim.channel import AckKind, AckSignal
+from repro.sim.kernel import _SCHED_KEY as _SK
+from repro.sim.trace import NullTracer as _NT
+
+_ACK = AckKind.ACK
+_NACK = AckKind.NACK
+_AS = AckSignal
+_H = FlitType.HEAD
+_TL = FlitType.TAIL
+_HT = FlitType.HEAD_TAIL
+_set = object.__setattr__
+
+
+def _drive(w, v):
+    # Wire.drive for kernel-owned wires (hot list always attached).
+    w._nxt = v
+    w._driven = True
+    if not w._queued:
+        w._queued = True
+        w._hot.append(w)
+
+
+def _sender_cycle(s):
+    # GoBackNSender.on_cycle, transliterated with the wire drive inlined
+    # (the channel's wires are kernel-owned, so the hot-list enqueue is
+    # plain bookkeeping).
+    bw = s.channel.backward
+    fw = s.channel.forward
+    def cycle():
+        b = s._buffer
+        ack = bw._cur
+        if ack is not None:
+            s._quiet_cycles = 0
+            if ack.kind is _ACK:
+                s.acks_seen += 1
+                if b and b[0].seqno == ack.seqno:
+                    del b[0]
+                    sp = s._send_ptr - 1
+                    s._send_ptr = sp if sp > 0 else 0
+            else:
+                s.nacks_seen += 1
+                if s._send_ptr > 0 and ack.seqno <= s._last_sent_seqno:
+                    s.rewinds += 1
+                    s._send_ptr = 0
+                    s._last_sent_seqno = b[0].seqno - 1
+                else:
+                    s.nacks_ignored += 1
+        elif s.resync_timeout is not None and b and s._send_ptr >= len(b):
+            s._quiet_cycles += 1
+            if s._quiet_cycles >= s.resync_timeout:
+                s._quiet_cycles = 0
+                s.resyncs += 1
+                s._send_ptr = 0
+                s._last_sent_seqno = b[0].seqno - 1
+        sp = s._send_ptr
+        if sp < len(b):
+            flit = b[sp]
+            fw._nxt = flit
+            fw._driven = True
+            if not fw._queued:
+                fw._queued = True
+                fw._hot.append(fw)
+            s._send_ptr = sp + 1
+            s.sent_flits += 1
+            s._quiet_cycles = 0
+            s._last_sent_seqno = flit.seqno
+            if flit.seqno <= s._max_seqno_sent:
+                s.retransmissions += 1
+            else:
+                s._max_seqno_sent = flit.seqno
+    return cycle
+
+
+def _port_pump(p):
+    # One switch output port's whole cycle -- queue head into the
+    # retransmission buffer (abstract-mode seqno stamp is a direct flit
+    # clone), then the sender FSM -- fused into a single closure so the
+    # output-stage scan pays one call per active port.
+    s = p.sender
+    qi = p.queue._items
+    sb = s._buffer
+    fastq = s.codec is None
+    bw = s.channel.backward
+    fw = s.channel.forward
+    win = s.window
+    def pump(p=p, s=s):
+        if qi and len(sb) < win:
+            f = qi.popleft()
+            if fastq:
+                nf = _FCLONE(f)
+                _set(nf, "seqno", s._next_seqno)
+                sb.append(nf)
+                s._next_seqno += 1
+            else:
+                s.enqueue(f)
+            p.flits_out += 1
+        # GoBackNSender.on_cycle, transliterated as in _sender_cycle.
+        ack = bw._cur
+        if ack is not None:
+            s._quiet_cycles = 0
+            if ack.kind is _ACK:
+                s.acks_seen += 1
+                if sb and sb[0].seqno == ack.seqno:
+                    del sb[0]
+                    sp = s._send_ptr - 1
+                    s._send_ptr = sp if sp > 0 else 0
+            else:
+                s.nacks_seen += 1
+                if s._send_ptr > 0 and ack.seqno <= s._last_sent_seqno:
+                    s.rewinds += 1
+                    s._send_ptr = 0
+                    s._last_sent_seqno = sb[0].seqno - 1
+                else:
+                    s.nacks_ignored += 1
+        elif s.resync_timeout is not None and sb and s._send_ptr >= len(sb):
+            s._quiet_cycles += 1
+            if s._quiet_cycles >= s.resync_timeout:
+                s._quiet_cycles = 0
+                s.resyncs += 1
+                s._send_ptr = 0
+                s._last_sent_seqno = sb[0].seqno - 1
+        sp = s._send_ptr
+        if sp < len(sb):
+            flit = sb[sp]
+            fw._nxt = flit
+            fw._driven = True
+            if not fw._queued:
+                fw._queued = True
+                fw._hot.append(fw)
+            s._send_ptr = sp + 1
+            s.sent_flits += 1
+            s._quiet_cycles = 0
+            s._last_sent_seqno = flit.seqno
+            if flit.seqno <= s._max_seqno_sent:
+                s.retransmissions += 1
+            else:
+                s._max_seqno_sent = flit.seqno
+    return pump
+
+
+def _generic_lane(c):
+    tick = c.tick
+    isq = c.is_quiescent
+    def t(cyc, nxt, c=c):
+        tick(cyc)
+        if not isq():
+            nxt[c] = None
+    return t
+
+
+def _always_lane(c):
+    # No quiescence contract: the component runs every cycle and never
+    # enters the awake set (Simulator.wake ignores non-sleepy
+    # components), so there is nothing to re-arm.
+    tick = c.tick
+    def t(cyc, nxt):
+        tick(cyc)
+    return t
+
+
+def _master_awake_lane(m):
+    # An *awake* lane master runs its full tick; re-arming only while a
+    # request is pending (re-drive each cycle until accepted).  Sleeping
+    # masters are handled by the unrolled gate-draw block in the run
+    # loop -- see the master lane in the generated run_cycles below.
+    tick = m.tick
+    def t(cyc, nxt, m=m):
+        tick(cyc)
+        if m._pending is not None:
+            nxt[m] = None
+    return t
+
+
+def _switch_lane(c):
+    recvs = c.receivers
+    n_in = len(recvs)
+    arbs = c._arbiters
+    req_of = c._requested_output
+    in_stage = c._input_stage
+    dst = c._input_dest
+    onehot = tuple(tuple(i == j for j in range(n_in)) for i in range(n_in))
+    # Per-receiver: the forward/backward wires and (bit-accurate mode
+    # only) the CRC check; abstract mode reads the corrupted flag inline.
+    rins = tuple(
+        (r, r.channel.forward, r.channel.backward,
+         r._detected_corrupt if r.codec is not None else None)
+        for r in recvs
+    )
+    fwires = tuple(r.channel.forward for r in recvs)
+    # Per-output bindings, split by use site so the hot scans unpack only
+    # what they touch: OUT drives the output stage, ARM the re-arm scan,
+    # ACC the allocator commit.  ``_port_pump`` closes over the rest.
+    OUT = tuple(
+        (p.queue._items, p.sender._buffer, p.sender.channel.backward,
+         _port_pump(p))
+        for p in c.outputs
+    )
+    ARM = tuple(
+        (p.queue._items, p.sender._buffer, p.sender,
+         p.sender.resync_timeout is not None)
+        for p in c.outputs
+    )
+    ACC = tuple((p, p.queue._items, p.queue.depth) for p in c.outputs)
+    NOUT = len(ACC)
+    def t(cyc, nxt, c=c):
+        # Output stage (two-stage switch: no delay pipes).  The guard is
+        # deliberately looser than the port's precise activity test: a
+        # window-full sender with no resync timer gets a no-op pump()
+        # call, which is exactly what the real output stage does too.
+        for (qi, sb, bw, pump) in OUT:
+            if qi or sb or bw._cur is not None:
+                pump()
+        # Input stage: the common cases are "all inputs idle" and
+        # "exactly one input active"; multi-input contention delegates
+        # to the full allocator.
+        act = -1
+        i = 0
+        for w in fwires:
+            if w._cur is not None:
+                if act >= 0:
+                    act = -2
+                    break
+                act = i
+            i += 1
+        if act == -2:
+            in_stage(cyc)
+        elif act >= 0:
+            # GoBackNReceiver.poll unrolled around the allocator cut.
+            r, fw, rbw, det = rins[act]
+            f = fw._cur
+            seq = f.seqno
+            if f.corrupted if det is None else det(f):
+                r.corrupted_flits += 1
+                _drive(rbw, _AS(_NACK, seq))
+            elif seq != r._expected:
+                r.out_of_order_flits += 1
+                _drive(rbw, _AS(_NACK, seq))
+            else:
+                ft = f.ftype
+                if ft is _H or ft is _HT:
+                    rt = f.route
+                    ro = f.route_offset
+                    if rt is None or ro >= len(rt):
+                        out_idx = req_of(act, f)  # raises: bad route
+                    else:
+                        out_idx = rt[ro]
+                        if out_idx >= NOUT:
+                            out_idx = req_of(act, f)  # raises: bad hop
+                else:
+                    out_idx = dst[act]
+                    if out_idx is None:
+                        out_idx = req_of(act, f)  # raises: idle input
+                p, qi, depth = ACC[out_idx]
+                li = p.locked_input
+                if li is None:
+                    # The arbiter stays live: a one-hot grant advances
+                    # round-robin state exactly as the full stage does.
+                    granted = arbs[out_idx].grant(onehot[act]) == act
+                else:
+                    granted = li == act
+                    if not granted:
+                        c.allocation_conflicts += 1
+                if granted and len(qi) < depth:
+                    r.accepted_flits += 1
+                    r._expected = seq + 1
+                    rbw._nxt = _AS(_ACK, seq)
+                    rbw._driven = True
+                    if not rbw._queued:
+                        rbw._queued = True
+                        rbw._hot.append(rbw)
+                    if ft is _H or ft is _HT:
+                        nf = _FCLONE(f)
+                        _set(nf, "route_offset", f.route_offset + 1)
+                        f = nf
+                        if ft is _H:
+                            p.locked_input = act
+                            dst[act] = out_idx
+                    elif ft is _TL:
+                        p.locked_input = None
+                        dst[act] = None
+                    qi.append(f)
+                    c.flits_routed += 1
+                else:
+                    r.rejected_flits += 1
+                    _drive(rbw, _AS(_NACK, seq))
+        # Re-arm: not quiescent while any queue holds flits or any
+        # sender still has (re)transmit work.
+        for (qi, sb, s, rs) in ARM:
+            if qi or (sb and (rs or s._send_ptr < len(sb))):
+                nxt[c] = None
+                break
+    return t
+
+
+def _initiator_lane(c):
+    # InitiatorNI.tick transliterated under the lane's eligibility gates
+    # (no credit mode, no transaction timeout, no thread-order
+    # resequencing, no lifecycle tracing): phase order and every state
+    # read/write match the real tick; packetization and response
+    # matching stay real calls -- they run once per packet, not per
+    # cycle.
+    req_w = c.ocp.request
+    respacc_w = c.ocp.response_accept
+    resp_w = c.ocp.response
+    side_w = c.ocp.sideband
+    rx = c.rx
+    rxf = rx.channel.forward
+    rxb = rx.channel.backward
+    rxdet = rx._detected_corrupt if rx.codec is not None else None
+    tx = c.tx
+    fl = tx._flits
+    s = tx.sender
+    scyc = _sender_cycle(s)
+    sb = s._buffer
+    fastq = s.codec is None
+    win = s.window
+    rs = s.resync_timeout is not None
+    rq = c._resp_queue
+    sq = c._sideband_queue
+    ro = c._reorder
+    feed = c.depacketizer.feed
+    lat = c.packet_latency.samples
+    handle = c._handle_response_packet
+    try_acc = c._try_accept_request
+    MAXO = c.config.max_outstanding
+    def t(cyc, nxt, c=c):
+        full = not (req_w._cur is None and rxf._cur is None
+                    and not rq and not sq)
+        if full:
+            # Front end: new OCP request?  The early-return gate of
+            # _try_accept_request is inlined; the packetizing path
+            # stays the real method.
+            txn = req_w._cur
+            if (txn is not None and txn.txn_id != c._last_txn_id
+                    and tx._queued_packets < tx.capacity
+                    and c._outstanding_count < MAXO):
+                try_acc(cyc)
+        # Back end transmit (_BackEndTx.on_cycle).
+        if fl and len(sb) < win:
+            f = fl.popleft()
+            ft = f.ftype
+            if ft is _TL or ft is _HT:
+                tx._queued_packets -= 1
+            if fastq:
+                nf = _FCLONE(f)
+                _set(nf, "seqno", s._next_seqno)
+                sb.append(nf)
+                s._next_seqno += 1
+            else:
+                s.enqueue(f)
+        scyc()
+        if full:
+            # Back end receive: GoBackNReceiver.poll unrolled around
+            # the response-queue space check.
+            f = rxf._cur
+            if f is not None:
+                seq = f.seqno
+                if f.corrupted if rxdet is None else rxdet(f):
+                    rx.corrupted_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+                elif seq != rx._expected:
+                    rx.out_of_order_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+                elif len(rq) < MAXO:
+                    rx.accepted_flits += 1
+                    rx._expected = seq + 1
+                    _drive(rxb, _AS(_ACK, seq))
+                    pkt = feed(f)
+                    if pkt is not None:
+                        if pkt.birth_cycle >= 0:
+                            lat.append(cyc - pkt.birth_cycle)
+                        handle(pkt, cyc)
+                else:
+                    rx.rejected_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+            # Front end: present the oldest completed response until
+            # the master accepts it.
+            if rq:
+                r0 = rq[0]
+                aid = respacc_w._cur
+                if aid is not None and aid == r0.txn_id:
+                    rq.popleft()
+                    c.responses_delivered += 1
+                    r0 = rq[0] if rq else None
+                if r0 is not None:
+                    _drive(resp_w, r0)
+            # Sideband interrupts are single-cycle pulses to the core.
+            if sq:
+                _drive(side_w, sq.popleft())
+                c.interrupts_delivered += 1
+        if fl or (sb and (rs or s._send_ptr < len(sb))) or rq or sq or ro:
+            nxt[c] = None
+    return t
+
+
+def _target_lane(c):
+    # TargetNI.tick transliterated under the lane's eligibility gates
+    # (no credit mode, no lifecycle tracing).  Phase order matches the
+    # real tick: receive, issue-to-slave, collect-response, sideband,
+    # transmit last.
+    req_w = c.ocp.request
+    reqacc_w = c.ocp.request_accept
+    resp_w = c.ocp.response
+    respacc_w = c.ocp.response_accept
+    side_w = c.ocp.sideband
+    rx = c.rx
+    rxf = rx.channel.forward
+    rxb = rx.channel.backward
+    rxdet = rx._detected_corrupt if rx.codec is not None else None
+    tx = c.tx
+    fl = tx._flits
+    s = tx.sender
+    scyc = _sender_cycle(s)
+    sb = s._buffer
+    fastq = s.codec is None
+    win = s.window
+    rs = s.resync_timeout is not None
+    rq = c._req_queue
+    iss = c._issued
+    feed = c.depacketizer.feed
+    lat = c.packet_latency.samples
+    handle = c._handle_request_packet
+    respond = c._respond
+    MAXO = c.config.max_outstanding
+    def t(cyc, nxt, c=c):
+        if not (rxf._cur is None and c._current is None and not rq
+                and resp_w._cur is None and side_w._cur is None):
+            # Receive path: GoBackNReceiver.poll unrolled around the
+            # request-queue space check.
+            f = rxf._cur
+            if f is not None:
+                seq = f.seqno
+                if f.corrupted if rxdet is None else rxdet(f):
+                    rx.corrupted_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+                elif seq != rx._expected:
+                    rx.out_of_order_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+                elif len(rq) < MAXO:
+                    rx.accepted_flits += 1
+                    rx._expected = seq + 1
+                    _drive(rxb, _AS(_ACK, seq))
+                    pkt = feed(f)
+                    if pkt is not None:
+                        if pkt.birth_cycle >= 0:
+                            lat.append(cyc - pkt.birth_cycle)
+                        handle(pkt, cyc)
+                else:
+                    rx.rejected_flits += 1
+                    _drive(rxb, _AS(_NACK, seq))
+            # Issue the oldest reassembled request to the slave core.
+            cur = c._current
+            if cur is None and rq:
+                txn, header = rq.popleft()
+                c._current = cur = txn
+                iss[txn.txn_id] = header
+            if cur is not None:
+                if reqacc_w._cur == cur.txn_id:
+                    c._current = None
+                else:
+                    _drive(req_w, cur)
+            # Collect the slave's response (deduplicated by txn id).
+            resp = resp_w._cur
+            if resp is not None and resp.txn_id != c._last_resp_txn:
+                if resp.txn_id in iss and tx._queued_packets < tx.capacity:
+                    c._last_resp_txn = resp.txn_id
+                    _drive(respacc_w, resp.txn_id)
+                    respond(resp, cyc)
+            # Sideband from the slave becomes an INTERRUPT packet.
+            ev = side_w._cur
+            if ev is not None and tx._queued_packets < tx.capacity:
+                c._send_interrupt(ev, cyc)
+        # Back end transmit (_BackEndTx.on_cycle) -- last, as in tick.
+        if fl and len(sb) < win:
+            f = fl.popleft()
+            ft = f.ftype
+            if ft is _TL or ft is _HT:
+                tx._queued_packets -= 1
+            if fastq:
+                nf = _FCLONE(f)
+                _set(nf, "seqno", s._next_seqno)
+                sb.append(nf)
+                s._next_seqno += 1
+            else:
+                s.enqueue(f)
+        scyc()
+        if (fl or (sb and (rs or s._send_ptr < len(sb)))
+                or c._current is not None or rq):
+            nxt[c] = None
+    return t
+
+
+def _link_lane(c):
+    # Zero-latency fault-free link: two wire moves.  A runtime fault
+    # override (FaultInjector windows) delegates to the real tick so
+    # drop/corrupt RNG draws stay stream-identical.  Depth-0 links are
+    # always quiescent -- they wake purely from their wires.
+    tick = c.tick
+    upf = c.up.forward
+    upb = c.up.backward
+    dnf = c.down.forward
+    dnb = c.down.backward
+    def t(cyc, nxt, c=c):
+        if c._fault_drop or c._fault_rate is not None:
+            tick(cyc)
+            return
+        f = upf._cur
+        if f is not None:
+            c.flits_carried += 1
+            dnf._nxt = f
+            dnf._driven = True
+            if not dnf._queued:
+                dnf._queued = True
+                dnf._hot.append(dnf)
+        a = dnb._cur
+        if a is not None:
+            upb._nxt = a
+            upb._driven = True
+            if not upb._queued:
+                upb._queued = True
+                upb._hot.append(upb)
+    return t
+'''
+
+_FACTORY_OF = {
+    "always": "_always_lane",
+    "generic": "_generic_lane",
+    "master": "_master_awake_lane",
+    "switch": "_switch_lane",
+    "ni-initiator": "_initiator_lane",
+    "ni-target": "_target_lane",
+    "link": "_link_lane",
+}
+
+
+def _emit_switch(n_in: int, n_out: int) -> str:
+    """Emit an unrolled switch-lane builder for one port shape.
+
+    ``_switch_lane`` (in the prelude) is the reference transliteration;
+    this emits the same logic with the three per-port scans -- output
+    stage, input activity detection, re-arm -- unrolled into straight
+    line guards over pre-bound per-port names.  One builder is shared by
+    every switch of the same (inputs x outputs) shape.
+    """
+    name = f"_sw_{n_in}x{n_out}"
+    lines = [
+        f"def {name}(c):",
+        f"    # Unrolled switch lane: {n_in} inputs x {n_out} outputs.",
+        "    recvs = c.receivers",
+        "    arbs = c._arbiters",
+        "    req_of = c._requested_output",
+        "    in_stage = c._input_stage",
+        "    dst = c._input_dest",
+        "    onehot = tuple(",
+        f"        tuple(i == j for j in range({n_in})) for i in range({n_in})",
+        "    )",
+        "    rins = tuple(",
+        "        (r, r.channel.forward, r.channel.backward,",
+        "         r._detected_corrupt if r.codec is not None else None)",
+        "        for r in recvs",
+        "    )",
+        "    ACC = tuple((p, p.queue._items, p.queue.depth) for p in c.outputs)",
+        "    _len = len",
+    ]
+    for k in range(n_in):
+        lines.append(f"    f{k} = recvs[{k}].channel.forward")
+    for k in range(n_out):
+        lines += [
+            f"    p{k} = c.outputs[{k}]",
+            f"    q{k} = p{k}.queue._items",
+            f"    s{k} = p{k}.sender",
+            f"    b{k} = s{k}._buffer",
+            f"    w{k} = s{k}.channel.backward",
+            f"    m{k} = _port_pump(p{k})",
+            f"    rs{k} = s{k}.resync_timeout is not None",
+        ]
+    lines.append("    def t(cyc, nxt, c=c):")
+    # Output stage: the same deliberately-loose guard as _switch_lane,
+    # one line per port.
+    for k in range(n_out):
+        lines += [
+            f"        if q{k} or b{k} or w{k}._cur is not None:",
+            f"            m{k}()",
+        ]
+    # Input activity scan: -1 idle, -2 contended, else the active index.
+    # (-2 must stick: compare against -1 exactly, not "< 0".)
+    lines.append("        act = 0 if f0._cur is not None else -1")
+    for k in range(1, n_in):
+        lines += [
+            f"        if f{k}._cur is not None:",
+            f"            act = {k} if act == -1 else -2",
+        ]
+    lines += [
+        "        if act >= 0:",
+        "            # GoBackNReceiver.poll unrolled around the allocator cut.",
+        "            r, fw, rbw, det = rins[act]",
+        "            f = fw._cur",
+        "            seq = f.seqno",
+        "            if f.corrupted if det is None else det(f):",
+        "                r.corrupted_flits += 1",
+        "                _drive(rbw, _AS(_NACK, seq))",
+        "            elif seq != r._expected:",
+        "                r.out_of_order_flits += 1",
+        "                _drive(rbw, _AS(_NACK, seq))",
+        "            else:",
+        "                ft = f.ftype",
+        "                if ft is _H or ft is _HT:",
+        "                    rt = f.route",
+        "                    ro = f.route_offset",
+        "                    if rt is None or ro >= _len(rt):",
+        "                        out_idx = req_of(act, f)  # raises: bad route",
+        "                    else:",
+        "                        out_idx = rt[ro]",
+        f"                        if out_idx >= {n_out}:",
+        "                            out_idx = req_of(act, f)  # raises: bad hop",
+        "                else:",
+        "                    out_idx = dst[act]",
+        "                    if out_idx is None:",
+        "                        out_idx = req_of(act, f)  # raises: idle input",
+        "                p, qi, depth = ACC[out_idx]",
+        "                li = p.locked_input",
+        "                if li is None:",
+        "                    granted = arbs[out_idx].grant(onehot[act]) == act",
+        "                else:",
+        "                    granted = li == act",
+        "                    if not granted:",
+        "                        c.allocation_conflicts += 1",
+        "                if granted and _len(qi) < depth:",
+        "                    r.accepted_flits += 1",
+        "                    r._expected = seq + 1",
+        "                    rbw._nxt = _AS(_ACK, seq)",
+        "                    rbw._driven = True",
+        "                    if not rbw._queued:",
+        "                        rbw._queued = True",
+        "                        rbw._hot.append(rbw)",
+        "                    if ft is _H or ft is _HT:",
+        "                        nf = _FCLONE(f)",
+        "                        _set(nf, 'route_offset', f.route_offset + 1)",
+        "                        f = nf",
+        "                        if ft is _H:",
+        "                            p.locked_input = act",
+        "                            dst[act] = out_idx",
+        "                    elif ft is _TL:",
+        "                        p.locked_input = None",
+        "                        dst[act] = None",
+        "                    qi.append(f)",
+        "                    c.flits_routed += 1",
+        "                else:",
+        "                    r.rejected_flits += 1",
+        "                    _drive(rbw, _AS(_NACK, seq))",
+        "        elif act == -2:",
+        "            in_stage(cyc)",
+    ]
+    # Re-arm: one short-circuit expression across all output ports.
+    arm = [
+        f"q{k} or (b{k} and (rs{k} or s{k}._send_ptr < _len(b{k})))"
+        for k in range(n_out)
+    ]
+    cond = "\n                or ".join(arm)
+    lines += [
+        f"        if ({cond}):",
+        "            nxt[c] = None",
+        "    return t",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _classify(sim: Simulator, c) -> str:
+    """Pick the codegen lane for one (already validated) component."""
+    # Specialized lanes elide trace callouts and whole ticks; both are
+    # only invisible under the no-op tracer and without probes.
+    if type(sim.tracer) is not NullTracer or c in sim._probes:
+        return "generic"
+    from repro.core.flow_control import GoBackNReceiver, GoBackNSender
+    from repro.core.link import Link
+    from repro.core.ni import InitiatorNI, TargetNI
+    from repro.core.switch import Switch
+    from repro.network.cores import OcpTrafficMaster
+    from repro.network.traffic import UniformRandomTraffic
+
+    t = type(c)
+    if t is OcpTrafficMaster:
+        if type(c.pattern) is UniformRandomTraffic:
+            return "master"
+    elif t is Switch:
+        if (
+            c.config.pipeline_stages == 2
+            and not c.lifecycle
+            and all(type(p.sender) is GoBackNSender for p in c.outputs)
+            and all(type(r) is GoBackNReceiver for r in c.receivers)
+        ):
+            return "switch"
+    elif t is InitiatorNI:
+        if (
+            not c._credit_mode
+            and c.config.txn_timeout is None
+            and not c.config.enforce_thread_order
+            and not c.lifecycle
+            and type(c.tx.sender) is GoBackNSender
+            and type(c.rx) is GoBackNReceiver
+        ):
+            return "ni-initiator"
+    elif t is TargetNI:
+        if (
+            not c._credit_mode
+            and not c.lifecycle
+            and type(c.tx.sender) is GoBackNSender
+            and type(c.rx) is GoBackNReceiver
+        ):
+            return "ni-target"
+    elif t is Link:
+        if c._depth == 0 and c.config.error_rate == 0.0 and not c.lifecycle:
+            return "link"
+    return "generic"
+
+
+def _validate(sim: Simulator) -> None:
+    """Raise :class:`CompileError` if any component opts out of codegen.
+
+    Components *without* a quiescence contract do not opt out: they take
+    the ``always`` lane and run every cycle, exactly as ``step()`` runs
+    its ``_always_active`` list (fault injectors and watchdogs live
+    there).  Only dynamic behavior the static elaboration cannot see
+    disqualifies a network.
+    """
+    for c in sim._components:
+        if "tick" in c.__dict__:
+            raise CompileError(
+                f"cannot compile: component {c.name!r} carries an "
+                f"instance-level tick override -- dynamic behavior the "
+                f"static elaboration cannot see; run kernel=\"fast\" instead"
+            )
+
+
+def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
+    """Generate the per-network module source; returns (source, lanes).
+
+    Deterministic: the text depends only on the network structure (and
+    the tracer type), never on runtime state or ids -- the golden-file
+    test relies on this.
+    """
+    _validate(sim)
+    lane_of: List[Tuple[str, str]] = []
+    bind: List[str] = []
+    masters: List[str] = []  # variable names of drawer-lane masters
+    blocks: List[str] = []  # unrolled per-master gate blocks (slow loop)
+    fast_sleep: List[str] = []  # fast-loop variant, awake set non-empty
+    fast_idle: List[str] = []  # fast-loop variant, awake set empty
+    rebinds: List[str] = []  # per-run rebinds for the drawer lane
+
+    always_vars: List[str] = []  # no quiescence contract: run every cycle
+    switch_shapes: set = set()
+    for i, c in enumerate(sim._components):
+        lane = "always" if not c._sleepy else _classify(sim, c)
+        lane_of.append((c.name, lane))
+        if lane == "always":
+            always_vars.append(f"c{i}")
+        var = f"c{i}"
+        bind.append(f"    {var} = N[{c.name!r}]  # {type(c).__name__}: {lane}")
+        if lane == "switch":
+            # Switches get shape-specialized unrolled builders emitted
+            # into this module (see _emit_switch) instead of the generic
+            # prelude factory.
+            shape = (len(c.receivers), len(c.outputs))
+            switch_shapes.add(shape)
+            bind.append(f"    TH[{var}] = _sw_{shape[0]}x{shape[1]}({var})")
+        else:
+            bind.append(f"    TH[{var}] = {_FACTORY_OF[lane]}({var})")
+        if lane == "master":
+            masters.append(var)
+            rebinds.append(f"        rnd{i} = {var}.pattern._rng.random")
+            rebinds.append(f"        if{i} = {var}._in_flight")
+            rebinds.append(f"        tk{i} = {var}.tick")
+            rate = repr(float(c.pattern.rate))
+            maxo = int(c.max_outstanding)
+            gate = f"_len(if{i}) < {maxo}"
+            if c.max_transactions is not None:
+                gate += f" and {var}.issued < {int(c.max_transactions)}"
+            rebinds.append(f"        arm{i} = {gate}")
+            blocks.append(
+                f"""\
+            if {var} not in awake:
+                slept += 1
+                if {gate} and rnd{i}() < {rate}:
+                    tk{i}(cyc, _predrawn_inject=True)
+                    if {var}._pending is not None:
+                        nxt[{var}] = None"""
+            )
+            # ``arm{i}`` caches the injection-window gate: a sleeping
+            # master's ``_in_flight``/``issued`` only change inside its
+            # own tick, so the gate is recomputed exactly after a drawer
+            # inject or an awake-cycle tick and is constant in between.
+            fast_sleep.append(
+                f"""\
+                    if {var} not in awake:
+                        slept += 1
+                        if arm{i} and rnd{i}() < {rate}:
+                            tk{i}(cyc, _predrawn_inject=True)
+                            arm{i} = {gate}
+                            if {var}._pending is not None:
+                                nxt[{var}] = None
+                    else:
+                        arm{i} = {gate}"""
+            )
+            fast_idle.append(
+                f"""\
+                    if arm{i} and rnd{i}() < {rate}:
+                        tk{i}(cyc, _predrawn_inject=True)
+                        arm{i} = {gate}
+                        if {var}._pending is not None:
+                            nxt[{var}] = None"""
+            )
+
+    lane_counts: Dict[str, int] = {}
+    for _, lane in lane_of:
+        lane_counts[lane] = lane_counts.get(lane, 0) + 1
+    summary = " ".join(f"{k}={v}" for k, v in sorted(lane_counts.items()))
+
+    master_blocks = ("\n".join(blocks) + "\n") if blocks else ""
+    master_rebinds = ("\n".join(rebinds) + "\n") if rebinds else ""
+
+    # Always-active components (fault injectors, watchdogs, anything
+    # without a quiescence contract) run every cycle, interleaved with
+    # the woken set in scheduling-index order -- step()'s linear merge,
+    # reproduced here so run order (and thus RNG/arbitration state) is
+    # identical.  Networks without them keep the plain sorted-awake text.
+    always_bind = ""
+    if always_vars:
+        always_bind = f"""\
+    AL = ({", ".join(always_vars)},)
+    NA = {len(always_vars)}
+
+    def _mkrun(awake):
+        woken = sorted(awake, key=_SK)
+        run = []
+        i = j = 0
+        nj = len(woken)
+        while i < NA and j < nj:
+            if AL[i]._sched_index < woken[j]._sched_index:
+                run.append(AL[i])
+                i += 1
+            else:
+                run.append(woken[j])
+                j += 1
+        if i < NA:
+            run.extend(AL[i:])
+        else:
+            run.extend(woken[j:])
+        return run
+"""
+    mkrun = "_mkrun(awake)" if always_vars else "sorted(awake, key=_SK)"
+    if always_vars:
+        slow_idle = """\
+            else:
+                for c in AL:
+                    TH[c](cyc, nxt)
+                if P:
+                    for c in AL:
+                        fns = P.get(c)
+                        if fns is not None:
+                            for fn in fns:
+                                fn(cyc)
+                nrun = NA"""
+        fast_idle_run = (
+            "                    for c in AL:\n"
+            "                        TH[c](cyc, nxt)\n"
+            "                    nrun = NA"
+        )
+    else:
+        slow_idle = """\
+            else:
+                nrun = 0"""
+        fast_idle_run = "                    nrun = 0"
+
+    def reindent(text: str, spaces: int) -> str:
+        if not text:
+            return text
+        pad = " " * spaces
+        return "\n".join(
+            (pad + line) if line.strip() else line for line in text.split("\n")
+        )
+
+    rearm = ""
+    if masters:
+        rearm = f"""\
+            # Run-boundary invariant: a drawer-lane master sleeps inside
+            # the loop, but the interpreted kernels keep every unfinished
+            # master awake -- re-arm them so snapshots taken between runs
+            # (and kernel switches) see interpreted-equivalent state.
+            aw = S._awake
+            for m in ({", ".join(masters)},):
+                if not m.is_quiescent():
+                    aw[m] = None
+"""
+        slow_try_open = "        try:\n"
+        slow_epilogue = "        finally:\n" + rearm.rstrip("\n")
+        body_indent = True
+    else:
+        slow_try_open = ""
+        slow_epilogue = ""
+        body_indent = False
+
+    slow_loop = f"""\
+        for _ in range(n):
+            awake = nxt
+            S._awake = nxt = {{}}
+            slept = 0
+            if awake:
+                if rck == awake.keys():
+                    run = rcv
+                else:
+                    run = {mkrun}
+                    rck = frozenset(awake)
+                    rcv = run
+                for c in run:
+                    TH[c](cyc, nxt)
+                if P:
+                    for c in run:
+                        fns = P.get(c)
+                        if fns is not None:
+                            for fn in fns:
+                                fn(cyc)
+                nrun = _len(run)
+{slow_idle}
+{master_blocks or ''}\
+            exe += nrun + slept
+            skp += NC - nrun - slept
+            if HOT:
+                keep = []
+                ka = keep.append
+                for w in HOT:
+                    if w._driven:
+                        w._cur = w._nxt
+                        w._driven = False
+                    else:
+                        w._cur = w.default
+                    w._nxt = w.default
+                    if w._cur is not w.default:
+                        ka(w)
+                        for r in w.readers:
+                            nxt[r] = None
+                    else:
+                        w._queued = False
+                HOT[:] = keep
+            S.ticks_executed = te0 + exe
+            S.ticks_skipped = ts0 + skp
+            for fn in WL:
+                fn(cyc)
+            cyc += 1
+            S.cycle = cyc"""
+    if body_indent:
+        slow_loop = reindent(slow_loop, 4)
+
+    run_slow = f"""\
+    def run_slow(n):
+        # Observed loop: watchers, probes or a live tracer can read
+        # simulator state mid-run, so cycle/tick counters are published
+        # every cycle, exactly like Simulator.step().
+        cyc = S.cycle
+        te0 = S.ticks_executed
+        ts0 = S.ticks_skipped
+        exe = 0
+        skp = 0
+        rck = None
+        rcv = ()
+        nxt = S._awake
+        _len = len
+{master_rebinds}\
+{slow_try_open}\
+{slow_loop}
+{slow_epilogue}"""
+
+    # The fast loop: nothing user-visible executes inside the loop (no
+    # watchers, no probes, NullTracer), so counter publication moves to a
+    # ``finally`` and the per-cycle probe/watcher plumbing disappears.
+    # Exception states stay step()-identical: ``cyc``/``exe``/``skp`` are
+    # advanced at the same program points, so the deferred write-back
+    # lands the same values a per-cycle publication would have.
+    if masters:
+        fb_sleep = "\n".join(fast_sleep)
+        # In the awake-empty branch no master can be awake: drop the
+        # membership tests and count every drawer master as slept.
+        idle_slept = (
+            f"                    slept = {len(masters)}\n" + "\n".join(fast_idle)
+        )
+    else:
+        fb_sleep = ""
+        idle_slept = "                    slept = 0"
+
+    run_fast = f"""\
+    def run_fast(n):
+        cyc = S.cycle
+        te0 = S.ticks_executed
+        ts0 = S.ticks_skipped
+        exe = 0
+        skp = 0
+        rck = None
+        rcv = ()
+        nxt = S._awake
+        _len = len
+{master_rebinds}\
+        try:
+            for _ in range(n):
+                awake = nxt
+                S._awake = nxt = {{}}
+                if awake:
+                    slept = 0
+                    if rck == awake.keys():
+                        run = rcv
+                    else:
+                        run = {mkrun}
+                        rck = frozenset(awake)
+                        rcv = run
+                    for c in run:
+                        TH[c](cyc, nxt)
+                    nrun = _len(run)
+{fb_sleep}\
+{"" if not masters else chr(10)}\
+                else:
+{fast_idle_run}
+{idle_slept}
+                exe += nrun + slept
+                skp += NC - nrun - slept
+                if HOT:
+                    keep = []
+                    ka = keep.append
+                    for w in HOT:
+                        if w._driven:
+                            w._cur = w._nxt
+                            w._driven = False
+                        else:
+                            w._cur = w.default
+                        w._nxt = w.default
+                        if w._cur is not w.default:
+                            ka(w)
+                            for r in w.readers:
+                                nxt[r] = None
+                        else:
+                            w._queued = False
+                    HOT[:] = keep
+                cyc += 1
+        finally:
+            S.cycle = cyc
+            S.ticks_executed = te0 + exe
+            S.ticks_skipped = ts0 + skp
+{rearm}\
+        return None
+
+    def run_cycles(n):
+        # ``add_watcher`` and tracer swaps deliberately do not bump the
+        # structure revision, so the observed/unobserved split is chosen
+        # per run, not per compile.
+        if WL or P or type(S.tracer) is not _NT:
+            return run_slow(n)
+        return run_fast(n)"""
+
+    run_fn = run_slow + "\n        return None\n\n" + run_fast
+
+    header = (
+        "# Compiled tick kernel -- generated by repro.sim.compiled; do not\n"
+        "# edit (structural changes re-elaborate it automatically).\n"
+        f"# network: {len(sim._components)} components, "
+        f"{len(sim._wires)} wires\n"
+        f"# lanes: {summary or 'none'}\n"
+    )
+    build = (
+        "def _build(sim):\n"
+        "    S = sim\n"
+        "    N = S._component_names\n"
+        "    TH = {}\n"
+        "    HOT = S._hot_wires\n"
+        "    P = S._probes\n"
+        "    WL = S._watchers\n"
+        f"    NC = {len(sim._components)}\n"
+        + ("\n".join(bind) + "\n" if bind else "")
+        + always_bind
+        + "\n"
+        + run_fn
+        + "\n"
+        "\n"
+        "    return run_cycles\n"
+    )
+    switch_defs = "\n\n".join(
+        _emit_switch(ni, no) for ni, no in sorted(switch_shapes)
+    )
+    if switch_defs:
+        switch_defs += "\n\n"
+    source = header + "\n" + _PRELUDE + "\n\n" + switch_defs + build
+    return source, lane_of
+
+
+def compiled_source(sim: Simulator) -> str:
+    """The generated kernel source for ``sim``'s current structure.
+
+    Raises :class:`CompileError` when a component opts out.  The text is
+    a pure function of network structure -- byte-stable across processes
+    for the same construction code (see ``tests/test_codegen_golden.py``).
+    """
+    source, _ = _generate(sim)
+    return source
+
+
+def compile_simulator(sim: Simulator) -> CompiledProgram:
+    """Elaborate ``sim`` into a :class:`CompiledProgram`.
+
+    Normally reached through :meth:`Simulator.compile` or lazily on the
+    first :meth:`Simulator.run` with ``kernel="compiled"``.
+    """
+    source, lane_of = _generate(sim)
+    g: Dict[str, object] = {}
+    exec(compile(source, "<repro.sim.compiled>", "exec"), g)
+    run = g["_build"](sim)
+    return CompiledProgram(
+        source=source, run=run, rev=sim._structure_rev, lane_of=lane_of
+    )

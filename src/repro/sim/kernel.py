@@ -22,11 +22,20 @@ fall back to the classical tick-everything loop -- both produce
 cycle-identical results, which ``tests/test_fastpath.py`` and
 :func:`repro.network.experiments.verify_fast_path` check digest-for-digest.
 
+A third scheduler mode, the **compiled kernel**
+(:meth:`Simulator.compile` / ``kernel="compiled"``), elaborates the
+already-built simulator once into a code-generated flat run loop
+(``repro.sim.compiled``) and is likewise cycle-identical to both
+interpreted modes; components that do not satisfy the codegen contract
+make :meth:`compile` fall back to the fast path (``strict=False``) or
+raise :class:`~repro.sim.compiled.CompileError` naming them.
+
 This mirrors a single-clock synchronous RTL design, which is exactly the
 discipline xpipes Lite imposes on its SystemC library so that synthesis
 and simulation views stay equivalent; the fast path merely skips ticks
-that the registered-wire discipline proves are no-ops.  See
-``docs/PERFORMANCE.md`` for the contract and measured speedups.
+that the registered-wire discipline proves are no-ops, and the compiled
+kernel merely removes interpreter dispatch from the ticks that remain.
+See ``docs/PERFORMANCE.md`` for the contracts and measured speedups.
 """
 
 from __future__ import annotations
@@ -45,6 +54,10 @@ class SimulationError(RuntimeError):
     """Raised for structural misuse of the kernel (duplicate names...)."""
 
 
+#: The scheduler modes :meth:`Simulator.set_kernel` accepts.
+KERNEL_MODES = ("interpreted", "fast", "compiled")
+
+
 class Simulator:
     """Single-clock cycle-accurate simulator.
 
@@ -56,9 +69,19 @@ class Simulator:
         Enable the activity-tracked scheduler (default).  ``False``
         ticks every component and latches every wire each cycle -- the
         correctness escape hatch; results are identical either way.
+    kernel:
+        Optional scheduler mode name (one of :data:`KERNEL_MODES`);
+        overrides ``fast_path`` when given.  ``"compiled"`` arms the
+        code-generated kernel lazily: elaboration happens on the first
+        :meth:`run` (or eagerly via :meth:`compile`).
     """
 
-    def __init__(self, tracer: Optional[Tracer] = None, fast_path: bool = True) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        fast_path: bool = True,
+        kernel: Optional[str] = None,
+    ) -> None:
         self.cycle = 0
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self._components: List[Component] = []
@@ -73,15 +96,34 @@ class Simulator:
         self._sleepy: List[Component] = []  # contract implementors
         self._awake: Dict[Component, None] = {}  # sleepy components due a tick
         self._hot_wires: List[Wire] = []  # wires needing latch attention
+        # Merged run-list cache: when the awake set repeats cycle over
+        # cycle (steady state), the merge result is reused verbatim.
+        self._run_cache_key: Optional[frozenset] = None
+        self._run_cache: List[Component] = []
+        # Compiled-kernel state.  ``_structure_rev`` counts structural
+        # mutations (registration, reset, restore, probe attachment);
+        # a compiled program is only valid for the revision it was
+        # elaborated against and is rebuilt on the next run otherwise.
+        self._compiled_mode = False
+        self._structure_rev = 0
+        self._program = None
+        self._program_rev = -1
+        self._fallback_rev = -1
+        #: Why the last compile attempt fell back to the fast path
+        #: (``None`` when the compiled program is live or never tried).
+        self.compile_fallback: Optional[str] = None
         # Instrumentation: how much work the fast path actually skipped.
         self.ticks_executed = 0
         self.ticks_skipped = 0
+        if kernel is not None:
+            self.set_kernel(kernel)
 
     # -- construction ----------------------------------------------------
     def add(self, component: Component) -> Component:
         """Register a component; returns it for chaining."""
         if component.name in self._component_names:
             raise SimulationError(f"duplicate component name: {component.name!r}")
+        self._invalidate_program()
         component.bind(self)
         component._sched_index = len(self._components)
         self._components.append(component)
@@ -104,6 +146,7 @@ class Simulator:
         """Create and register a double-buffered wire."""
         if name in self._wire_names:
             raise SimulationError(f"duplicate wire name: {name!r}")
+        self._invalidate_program()
         w = Wire(name, default)
         w._hot = self._hot_wires
         self._wires.append(w)
@@ -161,6 +204,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot probe {component!r}: not registered with this simulator"
             )
+        # Probed components are ineligible for specialized codegen lanes
+        # (a lane would elide ticks the probe must observe), so a new
+        # probe invalidates any compiled program.
+        self._invalidate_program()
         self._probes.setdefault(component, []).append(fn)
 
     # -- fast-path control -----------------------------------------------
@@ -177,9 +224,12 @@ class Simulator:
         driving) a non-default value re-enters the hot list.
         """
         enabled = bool(enabled)
+        if not enabled:
+            self._compiled_mode = False  # compiled runs on top of the fast path
         if enabled == self.fast_path:
             return
         self.fast_path = enabled
+        self._run_cache_key = None
         if enabled:
             self._awake = dict.fromkeys(self._sleepy)
             hot = self._hot_wires
@@ -191,9 +241,82 @@ class Simulator:
                     w._queued = True
                     hot.append(w)
 
+    # -- compiled kernel ---------------------------------------------------
+    @property
+    def kernel(self) -> str:
+        """The active scheduler mode name (see :data:`KERNEL_MODES`)."""
+        if self._compiled_mode:
+            return "compiled"
+        return "fast" if self.fast_path else "interpreted"
+
+    def set_kernel(self, mode: str) -> None:
+        """Select the scheduler mode at a cycle boundary.
+
+        ``"interpreted"`` is the classical tick-everything loop,
+        ``"fast"`` the activity-tracked scheduler, ``"compiled"`` the
+        code-generated kernel (elaborated lazily on the next
+        :meth:`run`).  All three are cycle-identical; switching is
+        always safe at a cycle boundary.
+        """
+        if mode not in KERNEL_MODES:
+            raise SimulationError(
+                f"set_kernel needs one of {KERNEL_MODES}, got {mode!r}"
+            )
+        if mode == "interpreted":
+            self.set_fast_path(False)
+        else:
+            self.set_fast_path(True)
+            self._compiled_mode = mode == "compiled"
+
+    def compile(self, strict: bool = True):
+        """Switch to the compiled kernel, elaborating eagerly.
+
+        Returns the live :class:`~repro.sim.compiled.CompiledProgram`.
+        When a component disqualifies itself from codegen (no quiescence
+        contract, an instance-level ``tick`` override), ``strict=True``
+        raises :class:`~repro.sim.compiled.CompileError` naming it;
+        ``strict=False`` records the reason in ``compile_fallback`` and
+        runs on the fast path instead (returning ``None``).
+        """
+        self.set_kernel("compiled")
+        return self._ensure_program(strict=strict)
+
+    def _invalidate_program(self) -> None:
+        """Structural mutation: any compiled program is now stale."""
+        self._structure_rev += 1
+        self._run_cache_key = None
+
+    def _ensure_program(self, strict: bool = False):
+        """The compiled program for the current structure revision, or
+        ``None`` after a recorded (non-strict) fallback."""
+        rev = self._structure_rev
+        if self._program is not None and self._program_rev == rev:
+            return self._program
+        if self._fallback_rev == rev and not strict:
+            return None
+        from repro.sim.compiled import CompileError, compile_simulator
+
+        try:
+            program = compile_simulator(self)
+        except CompileError as exc:
+            self._program = None
+            self._fallback_rev = rev
+            self.compile_fallback = str(exc)
+            if strict:
+                raise
+            return None
+        self._program = program
+        self._program_rev = rev
+        self._fallback_rev = -1
+        self.compile_fallback = None
+        return program
+
     # -- execution -------------------------------------------------------
     def reset(self) -> None:
         """Reset time, all wires and all components."""
+        # Component resets replace sub-objects (RNGs, queues, senders),
+        # so any compiled program's bindings are stale afterwards.
+        self._invalidate_program()
         self.cycle = 0
         for w in self._hot_wires:
             w._queued = False
@@ -215,11 +338,39 @@ class Simulator:
         # Steal the awake set; request_wakeup calls during the ticks
         # land in the fresh dict and carry over to the next cycle.
         awake, self._awake = self._awake, {}
-        if awake:
-            run = self._always_active + list(awake)
-            run.sort(key=_SCHED_KEY)  # registration order, as the full loop
-        else:
+        if not awake:
             run = self._always_active  # already in registration order
+        elif self._run_cache_key == awake.keys():
+            # Steady state: the same components woke as last cycle, so
+            # the merged (and ordered) run list is reused verbatim.
+            run = self._run_cache
+        else:
+            # ``_always_active`` is registration-ordered by construction;
+            # the woken set is not (insertion order follows wake order),
+            # so sort only the small woken side, then linear-merge.
+            woken = sorted(awake, key=_SCHED_KEY)
+            always = self._always_active
+            if always:
+                run = []
+                i = j = 0
+                ni, nj = len(always), len(woken)
+                while i < ni and j < nj:
+                    # A component is sleepy xor always-active, so the
+                    # two index sequences never collide.
+                    if always[i]._sched_index < woken[j]._sched_index:
+                        run.append(always[i])
+                        i += 1
+                    else:
+                        run.append(woken[j])
+                        j += 1
+                if i < ni:
+                    run.extend(always[i:])
+                elif j < nj:
+                    run.extend(woken[j:])
+            else:
+                run = woken
+            self._run_cache_key = frozenset(awake)
+            self._run_cache = run
         for c in run:
             c.tick(cyc)
         if self._probes:
@@ -291,6 +442,18 @@ class Simulator:
             raise SimulationError(
                 f"run() needs a non-negative cycle count, got {cycles}"
             )
+        if self._compiled_mode and cycles and type(self.tracer) is NullTracer:
+            # A live tracer bypasses the program entirely: its
+            # specialized lanes elide trace callouts (legal only under
+            # the no-op tracer), and tracer swaps deliberately don't
+            # invalidate -- so the check is per-run, like the
+            # watcher/probe dispatch inside the generated loop.
+            program = self._ensure_program()
+            if program is not None:
+                program.run(cycles)
+                return
+            # Guarded fallback: the kernel stays nominally "compiled"
+            # (compile_fallback says why) and runs on the fast path.
         for _ in range(cycles):
             self.step()
 
@@ -325,6 +488,7 @@ class Simulator:
         self,
         predicate: Callable[[], bool],
         max_cycles: int = 1_000_000,
+        stride: int = 1,
     ) -> int:
         """Step until ``predicate()`` is true; returns cycles spent.
 
@@ -332,18 +496,31 @@ class Simulator:
         predicate, and -- reporting the cycle it stopped at -- if the
         predicate is still false after ``max_cycles`` steps, the
         standard guard against deadlocked networks in tests.
+
+        ``stride`` is the fast lane for cheap-to-miss predicates: the
+        simulator advances ``stride`` cycles between predicate checks
+        (one :meth:`run` call, so the compiled kernel stays in its flat
+        loop).  The predicate is therefore evaluated at *stride
+        granularity* -- the run may stop up to ``stride - 1`` cycles
+        after the predicate first turned true.  ``max_cycles`` is still
+        respected exactly: the final chunk is clipped to the budget.
         """
         if not callable(predicate):
             raise SimulationError(
                 f"run_until needs a callable predicate, got "
                 f"{type(predicate).__name__}: {predicate!r}"
             )
+        if stride is True or stride is False or not isinstance(stride, int) or stride < 1:
+            raise SimulationError(
+                f"run_until needs a positive integer stride, got {stride!r}"
+            )
         start = self.cycle
         while not predicate():
-            if self.cycle - start >= max_cycles:
+            spent = self.cycle - start
+            if spent >= max_cycles:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles "
                     f"(started at cycle {start}, stopped at cycle {self.cycle})"
                 )
-            self.step()
+            self.run(min(stride, max_cycles - spent))
         return self.cycle - start

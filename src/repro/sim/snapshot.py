@@ -137,6 +137,12 @@ class SimSnapshot:
     fast_path: bool
     structure: Dict[str, Any]
     payload: bytes
+    #: Scheduler mode the capture ran under (one of
+    #: :data:`~repro.sim.kernel.KERNEL_MODES`).  Metadata only: restore
+    #: is kernel-agnostic and keeps the *target* simulator's mode.  The
+    #: default covers snapshots written before the field existed, derived
+    #: from ``fast_path`` (which is retained for exactly that purpose).
+    kernel: str = "fast"
 
     def save(self, path: str) -> None:
         """Write ``MAGIC | version | sha256 | envelope`` atomically-ish."""
@@ -146,6 +152,7 @@ class SimSnapshot:
                 "repro_version": self.repro_version,
                 "cycle": self.cycle,
                 "fast_path": self.fast_path,
+                "kernel": self.kernel,
                 "structure": self.structure,
                 "payload": self.payload,
             },
@@ -210,6 +217,9 @@ class SimSnapshot:
             fast_path=fields["fast_path"],
             structure=fields["structure"],
             payload=fields["payload"],
+            kernel=fields.get(
+                "kernel", "fast" if fields["fast_path"] else "interpreted"
+            ),
         )
 
 
@@ -232,6 +242,7 @@ def snapshot_simulator(
     state = {
         "cycle": sim.cycle,
         "fast_path": sim.fast_path,
+        "kernel": sim.kernel,
         "ticks_executed": sim.ticks_executed,
         "ticks_skipped": sim.ticks_skipped,
         "wires": wires,
@@ -257,6 +268,7 @@ def snapshot_simulator(
         fast_path=sim.fast_path,
         structure=_structure_of(sim),
         payload=stream.getvalue(),
+        kernel=sim.kernel,
     )
 
 
@@ -267,6 +279,17 @@ def restore_simulator(sim: Simulator, snap: SimSnapshot) -> Dict[str, Any]:
     (same component names/types, same wires); the standard workflow is
     to re-run the construction code that built the original.  All
     existing runtime state in ``sim`` is discarded.
+
+    Restore is *kernel-agnostic*: ``sim`` keeps its own scheduler mode
+    (interpreted, fast, or compiled) regardless of which mode took the
+    capture, and continuing under any mode is cycle-identical.  The
+    captured wake set and hot-wire list are exact for a fast-path or
+    compiled capture; the interpreted loop maintains neither, so a
+    snapshot taken under it re-arms a fast-path target conservatively
+    (every sleepy component wakes, every driven or non-default wire
+    re-enters the hot list -- the same re-arm
+    :meth:`~repro.sim.kernel.Simulator.set_fast_path` performs when
+    toggled on).
     """
     if snap.version != SNAPSHOT_VERSION:
         raise SnapshotError(
@@ -285,16 +308,28 @@ def restore_simulator(sim: Simulator, snap: SimSnapshot) -> Dict[str, Any]:
     for name, comp_state in state["components"].items():
         sim._component_names[name].restore(comp_state)
     sim.cycle = state["cycle"]
-    sim.fast_path = state["fast_path"]
     sim.ticks_executed = state["ticks_executed"]
     sim.ticks_skipped = state["ticks_skipped"]
-    sim._awake = {sim._component_names[n]: None for n in state["awake"]}
+    src_kernel = state.get(
+        "kernel", "fast" if state["fast_path"] else "interpreted"
+    )
     hot = sim._hot_wires
     del hot[:]
-    for name in state["hot"]:
-        w = sim._wire_names[name]
-        w._queued = True
-        hot.append(w)
+    if src_kernel == "interpreted" and sim.fast_path:
+        # The interpreted loop keeps no scheduler state, so its captured
+        # awake/hot sets say nothing; arm the activity tracker the same
+        # conservative way set_fast_path(True) does.
+        sim._awake = dict.fromkeys(sim._sleepy)
+        for w in sim._wires:
+            if w._driven or w._cur is not w.default:
+                w._queued = True
+                hot.append(w)
+    else:
+        sim._awake = {sim._component_names[n]: None for n in state["awake"]}
+        for name in state["hot"]:
+            w = sim._wire_names[name]
+            w._queued = True
+            hot.append(w)
     _set_global_id_state(state["ids"])
     return state["extras"] or {}
 

@@ -1,19 +1,29 @@
-"""Golden-file tests: generated SystemC output is stable.
+"""Golden-file tests: generated output is stable.
 
-The synthesis view is an interchange artifact -- downstream flows diff
-and check it in.  Unintentional churn in the generator is a regression
-even when the text is still "valid", so the demo design's full output
-is snapshotted under ``tests/data/golden_systemc`` and compared
-byte-for-byte.  If you change the generator on purpose, regenerate the
-snapshot (see the module-level docstring of this test).
+Two generators are snapshotted here.  The synthesis view (SystemC) is
+an interchange artifact -- downstream flows diff and check it in.  The
+compiled tick kernel's Python source (``repro.sim.compiled``) is an
+internal artifact, but golden-filed for the same reason: unintentional
+churn in either generator is a regression even when the text is still
+"valid".  If you change a generator on purpose, regenerate the
+snapshot.
 
-Regenerate with::
+Regenerate the SystemC snapshot with::
 
     python - <<'PY'
     from repro.compiler import NocSpecification, generate_systemc
     spec = NocSpecification.from_json(open("tests/data/golden_spec.json").read())
     for name, content in generate_systemc(spec).items():
         open(f"tests/data/golden_systemc/{name}", "w").write(content)
+    PY
+
+Regenerate the compiled-kernel snapshot with::
+
+    PYTHONPATH=src python - <<'PY'
+    from tests.test_codegen_golden import _golden_kernel_noc
+    from repro.sim.compiled import compiled_source
+    open("tests/data/golden_compiled_kernel.py.txt", "w").write(
+        compiled_source(_golden_kernel_noc().sim))
     PY
 """
 
@@ -25,6 +35,7 @@ from repro.compiler import NocSpecification, generate_systemc
 
 DATA = os.path.join(os.path.dirname(__file__), "data")
 GOLDEN_DIR = os.path.join(DATA, "golden_systemc")
+GOLDEN_KERNEL = os.path.join(DATA, "golden_compiled_kernel.py.txt")
 
 
 @pytest.fixture(scope="module")
@@ -55,3 +66,59 @@ class TestGoldenCodegen:
             spec = NocSpecification.from_json(f.read())
         again = generate_systemc(spec)
         assert again == generated
+
+
+def _golden_kernel_noc():
+    """The canonical network the compiled-kernel snapshot is taken of:
+    a populated 2x2 mesh, covering every specialized lane (switch,
+    master, both NIs, link) plus the drawer-lane master unrolling."""
+    from repro.network.experiments import TopologyNocBuilder
+    from repro.network.topology import mesh
+    from repro.network.traffic import UniformRandomTraffic
+
+    noc = TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2)()
+    noc.populate(
+        {
+            c: UniformRandomTraffic(noc.topology.targets, 0.05, seed=i)
+            for i, c in enumerate(noc.topology.initiators)
+        }
+    )
+    return noc
+
+
+class TestCompiledKernelGolden:
+    """The compiled tick kernel emits byte-stable Python source.
+
+    The source is a pure function of network structure (names, shapes,
+    rates -- never runtime state or ids), which is what makes the
+    kernel auditable: you can read exactly the loop a network will run.
+    """
+
+    @pytest.fixture(scope="class")
+    def source(self):
+        from repro.sim.compiled import compiled_source
+
+        return compiled_source(_golden_kernel_noc().sim)
+
+    def test_source_matches_snapshot(self, source):
+        with open(GOLDEN_KERNEL) as f:
+            golden = f.read()
+        assert source == golden, (
+            "generated kernel source changed; if intentional, regenerate "
+            "the snapshot (see module docstring)"
+        )
+
+    def test_generation_is_deterministic(self, source):
+        from repro.sim.compiled import compiled_source
+
+        assert compiled_source(_golden_kernel_noc().sim) == source
+
+    def test_snapshot_still_compiles_and_runs(self):
+        # The golden text is not just stable -- it is the program the
+        # simulator actually executes.
+        noc = _golden_kernel_noc()
+        program = noc.sim.compile()
+        with open(GOLDEN_KERNEL) as f:
+            assert program.source == f.read()
+        noc.run(200)
+        assert noc.sim.cycle == 200

@@ -1,0 +1,288 @@
+"""The compiled tick kernel: differential equivalence + compile contract.
+
+The codegen kernel (``docs/PERFORMANCE.md``, "Compiled kernel") must be
+invisible: any network, any seed, any load -- including contended
+regimes that exercise allocation conflicts, NACK recovery and wormhole
+blocking -- produces statistics byte-identical to the interpreted loop
+and the fast path.  The differential tests prove it on real NoCs (the
+contended-rate case is load-bearing: a sticky arbitration bug once
+survived every light-load test in the suite); the unit tests pin the
+compile-time contract -- who gets a specialized lane, what raises
+:class:`~repro.sim.compiled.CompileError`, when programs go stale, and
+that observers (probes, watchers, tracers) see exactly the cycles
+``step()`` would have shown them.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, FaultWindow
+from repro.network.experiments import (
+    TopologyNocBuilder,
+    verify_checkpoint,
+    verify_fast_path,
+)
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import mesh, ring
+from repro.network.traffic import UniformRandomTraffic
+from repro.sim.compiled import CompileError, compiled_source
+from repro.sim.component import Component
+from repro.sim.kernel import KERNEL_MODES, SimulationError, Simulator
+from repro.sim.trace import TextTracer
+
+THREE_WAY = ("compiled", "fast", "interpreted")
+
+
+# ---------------------------------------------------------------------------
+# Differential tests: compiled vs fast vs interpreted on real networks.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("topo", [
+    pytest.param((mesh, (3, 3)), id="mesh3x3"),
+    pytest.param((ring, (4,)), id="ring4"),
+])
+@pytest.mark.parametrize("rate", [0.02, 0.3], ids=["light", "contended"])
+def test_three_way_digest_equivalence(topo, rate):
+    factory, args = topo
+    digest = verify_fast_path(
+        TopologyNocBuilder(factory, args),
+        cycles=700,
+        rate=rate,
+        kernels=THREE_WAY,
+    )
+    assert len(digest) == 64
+
+
+def test_equivalence_with_open_fault_windows():
+    # Error recovery under codegen: the window opens mid-run, corrupts
+    # real traffic, and go-back-N must replay identically in all modes.
+    window = FaultWindow("link.*", start=100, duration=300, error_rate=0.15)
+    verify_fast_path(
+        TopologyNocBuilder(mesh, (2, 2)),
+        cycles=700,
+        rate=0.1,
+        attach=lambda noc: FaultInjector(noc, [window]),
+        kernels=THREE_WAY,
+    )
+
+
+@pytest.mark.parametrize("kernel,restore_kernel", [
+    ("compiled", "interpreted"),
+    ("interpreted", "compiled"),
+    ("fast", "compiled"),
+    ("compiled", "fast"),
+])
+def test_cross_kernel_checkpoint_restore(kernel, restore_kernel):
+    verify_checkpoint(
+        TopologyNocBuilder(mesh, (2, 2)),
+        snapshot_at=200,
+        cycles=600,
+        rate=0.1,
+        kernel=kernel,
+        restore_kernel=restore_kernel,
+    )
+
+
+def test_mesh_gets_specialized_lanes():
+    noc = TopologyNocBuilder(mesh, (3, 3), n_initiators=4, n_targets=4)()
+    noc.populate(
+        {
+            c: UniformRandomTraffic(noc.topology.targets, 0.05, seed=i)
+            for i, c in enumerate(noc.topology.initiators)
+        }
+    )
+    program = noc.sim.compile()
+    assert program.lanes["switch"] == 9
+    assert program.lanes["master"] == 4
+    assert program.lanes["ni-initiator"] == 4
+    assert program.lanes["ni-target"] == 4
+    assert program.lanes["link"] > 0
+    assert set(program.lane_of) == {c.name for c in noc.sim._components}
+
+
+# ---------------------------------------------------------------------------
+# The compile contract.
+# ---------------------------------------------------------------------------
+
+
+class _Pulse(Component):
+    """Minimal well-behaved component: counts values on one wire."""
+
+    def __init__(self, name, wire):
+        super().__init__(name)
+        self.inp = wire
+        self.ticks = 0
+        self.pulses = 0
+
+    def wake_inputs(self):
+        return [self.inp]
+
+    def is_quiescent(self):
+        return True
+
+    def tick(self, cycle):
+        self.ticks += 1
+        if self.inp.value is not None:
+            self.pulses += 1
+
+
+class _NoContract(Component):
+    """Opts out: no wake_inputs/is_quiescent, so it can never sleep."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.ticks = 0
+
+    def tick(self, cycle):
+        self.ticks += 1
+
+
+def _tiny_sim(kernel="compiled"):
+    sim = Simulator(kernel=kernel)
+    w = sim.wire("w")
+    c = sim.add(_Pulse("c", w))
+    return sim, w, c
+
+
+def test_no_contract_component_takes_the_always_lane():
+    # No quiescence contract is not an opt-out: the component runs every
+    # cycle under codegen, exactly as step()'s _always_active list does.
+    sim, w, c = _tiny_sim()
+    free = sim.add(_NoContract("free"))
+    program = sim.compile()
+    assert program.lane_of["free"] == "always"
+    w.drive(5)
+    sim.run(20)
+    assert free.ticks == 20
+    assert c.pulses == 1  # sleepy neighbor still wakes and sleeps
+
+
+def test_strict_compile_names_the_offender():
+    sim, _, c = _tiny_sim()
+    c.tick = lambda cycle: None  # instance-level: invisible to codegen
+    with pytest.raises(CompileError, match="'c'"):
+        sim.compile()
+
+
+def test_non_strict_compile_falls_back_and_stays_correct():
+    sim, w, c = _tiny_sim()
+    rogue = sim.add(_Pulse("rogue", sim.wire("w2")))
+    rogue.tick = rogue.tick  # freeze the bound method: instance-level
+    assert sim.compile(strict=False) is None
+    assert "rogue" in sim.compile_fallback
+    assert sim.kernel == "compiled"  # nominally; runs on the fast path
+    w.drive(5)
+    sim.run(10)
+    assert c.pulses == 1
+
+
+def test_structural_mutation_recompiles():
+    sim, w, c = _tiny_sim()
+    first = sim.compile()
+    sim.run(3)
+    c2 = sim.add(_Pulse("c2", sim.wire("w2")))
+    second = sim.compile()
+    assert second is not first and second.rev > first.rev
+    sim.run(3)
+    assert sim.cycle == 6 and c2.ticks >= 1
+
+
+def test_compiled_source_is_deterministic():
+    a = compiled_source(_tiny_sim()[0])
+    b = compiled_source(_tiny_sim()[0])
+    assert a == b and "def run_cycles" in a
+
+
+def test_set_kernel_validates_mode():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="set_kernel"):
+        sim.set_kernel("vectorized")
+    for mode in KERNEL_MODES:
+        sim.set_kernel(mode)
+        assert sim.kernel == mode
+
+
+# ---------------------------------------------------------------------------
+# Observers: probes, watchers, tracers see step()-identical cycles.
+# ---------------------------------------------------------------------------
+
+
+def _drive_schedule(sim, w):
+    """Stimulus with gaps, so wake/sleep transitions are exercised."""
+    sim.run(2)
+    w.drive(1)
+    sim.run(5)
+    w.drive(2)
+    sim.run(5)
+
+
+def test_probes_are_cycle_exact():
+    # Probes fire only on cycles their component executed; under the
+    # interpreted loop that is every cycle, so the activity-aware
+    # contract is fast-vs-compiled equivalence (tests/test_fastpath.py
+    # pins the fast-path side of the contract).
+    def observed(kernel):
+        sim, w, c = _tiny_sim(kernel)
+        seen = []
+        sim.add_probe(c, lambda cyc: seen.append((cyc, c.pulses)))
+        _drive_schedule(sim, w)
+        return seen
+
+    want = observed("fast")
+    assert observed("compiled") == want
+    assert any(pulses for _, pulses in want)
+    assert len(want) < 12  # skipped cycles really are skipped
+
+
+def test_watchers_are_cycle_exact():
+    def observed(kernel):
+        sim, w, c = _tiny_sim(kernel)
+        seen = []
+        sim.add_watcher(lambda cyc: seen.append((cyc, c.pulses)))
+        _drive_schedule(sim, w)
+        return seen
+
+    want = observed("interpreted")
+    assert len(want) == 12  # watchers run every cycle, in every mode
+    assert observed("compiled") == want
+
+
+def test_tracer_swap_mid_run_is_honored():
+    # A tracer swap doesn't invalidate the program (it's not structure);
+    # the run dispatcher must notice it anyway: observed runs take the
+    # slow generated loop, which traces cycle-exactly.  Note the swap
+    # also changes lane assignment territory -- the program was compiled
+    # under NullTracer with specialized lanes -- so this doubles as the
+    # proof that the dispatcher, not recompilation, carries correctness.
+    from repro.sim.snapshot import _global_id_state, _set_global_id_state
+
+    ids = _global_id_state()
+
+    def events(kernel):
+        # Flit reprs in trace fields carry process-global packet ids;
+        # rewind the allocators so both runs see identical streams.
+        _set_global_id_state(ids)
+        noc = TopologyNocBuilder(mesh, (2, 2))()
+        noc.sim.set_kernel(kernel)
+        noc.populate(
+            {
+                c: UniformRandomTraffic(noc.topology.targets, 0.1, seed=5 + i)
+                for i, c in enumerate(noc.topology.initiators)
+            }
+        )
+        noc.run(100)
+        tracer = TextTracer()
+        noc.sim.tracer = tracer
+        noc.run(200)
+        return tracer.events
+
+    want = events("interpreted")
+    assert want, "the workload must actually produce trace events"
+    assert events("compiled") == want
+
+
+def test_run_until_stride_under_compiled_kernel():
+    sim, w, c = _tiny_sim()
+    sim.compile()
+    spent = sim.run_until(lambda: sim.cycle >= 900, stride=128)
+    assert spent == sim.cycle == 1024  # predicate polled at stride marks

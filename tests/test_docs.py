@@ -82,6 +82,10 @@ class TestPerformanceDoc:
             "wake_inputs", "is_quiescent", "request_wakeup",
             "verify_fast_path", "fast_path=False", "set_fast_path",
             "cache_token", "CACHE_VERSION", "--jobs", "--cache",
+            # the compiled kernel
+            'kernel="compiled"', "set_kernel", "sim.compile()",
+            "CompileError", "compile_fallback", "stride=",
+            "kernel-smoke", "BENCH_s1.json",
         ):
             assert term in text, term
 
@@ -198,6 +202,8 @@ class TestCheckpointDoc:
             # campaign + CLI + CI
             "checkpoint_every", "--checkpoint-every", "--resume",
             "REPRO_CHECKPOINT_EVERY", "checkpoint-smoke", "timeout_guard",
+            # kernel-agnostic restores
+            "kernel-agnostic", "snap.kernel", "restore_kernel",
         ):
             assert term in text, term
 

@@ -119,6 +119,61 @@ class TestRoundTrip:
         fresh.run(100)  # and it still runs
 
 
+class TestKernelAgnostic:
+    """Snapshots restore across scheduler modes (docs/CHECKPOINT.md):
+    the capture records which kernel took it, restore keeps the target's
+    mode, and continuing is digest-identical either way -- including the
+    interpreted-source case, where the capture carries no scheduler
+    state and the restore must conservatively re-arm a fast-path target.
+    """
+
+    @pytest.mark.parametrize("src,dst", [
+        ("interpreted", "fast"),
+        ("interpreted", "compiled"),
+        ("fast", "interpreted"),
+        ("fast", "compiled"),
+        ("compiled", "interpreted"),
+        ("compiled", "fast"),
+    ])
+    def test_cross_kernel_restore_with_open_fault_window(self, src, dst):
+        # SPANNING_FAULT is open at the snapshot point, so the restored
+        # instance resumes mid-fault under a different scheduler.
+        digest = verify_checkpoint(
+            BUILDER,
+            snapshot_at=300,
+            cycles=900,
+            rate=0.1,
+            attach=lambda noc: FaultInjector(noc, [SPANNING_FAULT]),
+            kernel=src,
+            restore_kernel=dst,
+        )
+        assert len(digest) == 64
+
+    def test_snapshot_records_the_capturing_kernel(self, tmp_path):
+        noc, _ = build_noc()
+        noc.sim.set_kernel("compiled")
+        noc.run(100)
+        snap = noc.sim.snapshot()
+        assert snap.kernel == "compiled"
+        assert snap.fast_path is True  # legacy field stays coherent
+        path = os.path.join(tmp_path, "k.ckpt")
+        snap.save(path)
+        assert SimSnapshot.load(path).kernel == "compiled"
+
+    def test_restore_keeps_target_kernel(self):
+        noc, _ = build_noc()
+        noc.run(120)
+        snap = noc.sim.snapshot()  # captured under the fast path
+        target, _ = build_noc()
+        target.sim.set_kernel("compiled")
+        target.sim.restore(snap)
+        assert target.sim.kernel == "compiled"
+        target2, _ = build_noc()
+        target2.sim.set_kernel("interpreted")
+        target2.sim.restore(snap)
+        assert target2.sim.kernel == "interpreted"
+
+
 class TestStructureValidation:
     def test_restoring_into_a_different_noc_raises(self):
         noc, _ = build_noc()
