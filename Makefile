@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 
 # Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
@@ -44,3 +44,10 @@ checkpoint-smoke:
 # docs/PERFORMANCE.md and benchmarks/kernel_smoke.py.
 kernel-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/kernel_smoke.py
+
+# Batched Monte-Carlo pulse-check: a small replica batch whose every
+# lane digest must equal a scalar rebuild, then a replicated campaign
+# SIGKILLed at its first batch checkpoint and resumed to the exact
+# per-lane metrics of an uninterrupted run.  See docs/BATCHING.md.
+batch-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/batch_smoke.py

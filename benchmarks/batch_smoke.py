@@ -1,0 +1,200 @@
+"""Pulse check for batched Monte-Carlo simulation (docs/BATCHING.md).
+
+Two guarantees, end to end:
+
+* **Lane identity.**  A small replica batch over a faulted, bounded
+  workload must produce, for *every* lane, the byte-identical
+  statistics digest of a scalar compiled run built from scratch with
+  that lane's seeds -- reseed-and-reset reuse of one compiled network
+  may not be observable.
+* **Crash safety.**  A replicated campaign with checkpointing enabled
+  is SIGKILLed the moment its first batch checkpoint (format v2, with
+  the lane container) hits disk; the resumed run must reproduce the
+  uninterrupted run's per-lane metrics exactly and clean up its
+  checkpoint.
+
+Wired into ``make bench-smoke`` as ``make batch-smoke``.  Exits
+non-zero (with the mismatch printed) on any divergence.
+"""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.faults import (
+    CampaignSpec,
+    FaultInjector,
+    FaultWindow,
+    run_campaign_replicated,
+)
+from repro.network.experiments import TopologyNocBuilder
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import mesh
+from repro.network.traffic import UniformRandomTraffic
+from repro.sim.batch import SEED_STRIDE, BatchSimulator
+
+REPLICAS = 6
+CHECKPOINT_EVERY = 150
+KILL_DEADLINE = 120.0  # seconds before we give up waiting for a checkpoint
+
+DIGEST_LANES = 4
+DIGEST_HORIZON = 20_000
+DIGEST_RATE = 0.002
+DIGEST_WINDOW = FaultWindow(
+    "link.sw_0_0.p*", start=300, duration=400, error_rate=0.2
+)
+
+
+def campaign_spec() -> CampaignSpec:
+    builder = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(
+            ni_txn_timeout=300, ni_txn_retries=1, link_resync_timeout=40
+        ),
+    )
+    return CampaignSpec(
+        builder=builder,
+        windows=(FaultWindow("link.*", start=200, duration=1500, error_rate=0.05),),
+        rate=0.08,
+        warmup_cycles=200,
+        measure_cycles=2500,
+        seed=3,
+        label="batch-smoke",
+    )
+
+
+def build_digest_noc(lane: int = 0):
+    """The scalar construction of one replica lane of the bounded
+    digest workload (mirrors what BatchSimulator's reseeding does)."""
+    builder = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(kernel="compiled"),
+    )
+    noc = builder()
+    FaultInjector(noc, (DIGEST_WINDOW,))
+    off = lane * SEED_STRIDE
+    noc.populate(
+        {
+            c: UniformRandomTraffic(
+                noc.topology.targets, DIGEST_RATE, seed=17 * i + off
+            )
+            for i, c in enumerate(noc.topology.initiators)
+        },
+        max_transactions=2,
+    )
+    for link in noc.links:
+        link._seed += off
+    noc.sim.reset()  # links re-draw their RNGs from the offset seeds
+    return noc
+
+
+def check_lane_digests() -> bool:
+    batch_noc = build_digest_noc()
+    batch = BatchSimulator(batch_noc, DIGEST_LANES)
+    result = batch.run_lanes(
+        DIGEST_HORIZON,
+        lambda noc, k: {"completed": float(noc.total_completed())},
+        digest=True,
+    )
+    ok = True
+    for k in range(DIGEST_LANES):
+        scalar = build_digest_noc(lane=k)
+        scalar.sim.compile()
+        scalar.run(DIGEST_HORIZON)
+        if scalar.stats_digest() != result.digests[k]:
+            print(f"batch-smoke: FAIL -- lane {k} digest != scalar rebuild")
+            ok = False
+    sim = batch_noc.sim
+    skipped = sim.ticks_skipped / (sim.ticks_skipped + sim.ticks_executed)
+    print(
+        f"batch-smoke: {DIGEST_LANES} lane digests == scalar rebuilds "
+        f"({skipped:.0%} of ticks skipped on the last lane)"
+    )
+    return ok
+
+
+def run_replicated(checkpoint_dir, resume):
+    return run_campaign_replicated(
+        campaign_spec(),
+        REPLICAS,
+        checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+
+
+def main():
+    if "--child" in sys.argv:
+        # The victim: same replicated campaign, checkpointing to the
+        # dir the parent gave us.  The parent SIGKILLs us mid-batch.
+        run_replicated(sys.argv[2], resume=False)
+        return 0
+
+    if not check_lane_digests():
+        return 1
+
+    with tempfile.TemporaryDirectory() as scratch:
+        ckpt = os.path.join(scratch, "ckpt")
+        os.makedirs(ckpt)
+
+        print("batch-smoke: reference replicated campaign (uninterrupted) ...")
+        reference = run_campaign_replicated(campaign_spec(), REPLICAS)
+
+        print("batch-smoke: starting victim, will SIGKILL mid-batch ...")
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--child", ckpt],
+            env=dict(os.environ),
+        )
+        deadline = time.monotonic() + KILL_DEADLINE
+        try:
+            while not glob.glob(os.path.join(ckpt, "campaign-*.ckpt")):
+                if child.poll() is not None:
+                    print(
+                        "batch-smoke: FAIL -- victim finished before "
+                        f"writing a checkpoint (exit {child.returncode})"
+                    )
+                    return 1
+                if time.monotonic() > deadline:
+                    print("batch-smoke: FAIL -- no checkpoint appeared in time")
+                    return 1
+                time.sleep(0.01)
+            time.sleep(0.05)  # let the in-flight save land torn or whole
+            child.send_signal(signal.SIGKILL)
+        finally:
+            if child.poll() is None and not child.returncode:
+                child.kill()
+            child.wait()
+
+        print("batch-smoke: victim killed; resuming from its checkpoint ...")
+        resumed = run_replicated(ckpt, resume=True)
+
+        if resumed.lane_metrics != reference.lane_metrics:
+            print("batch-smoke: FAIL -- resumed lanes diverge from reference")
+            for name, want in reference.lane_metrics.items():
+                got = resumed.lane_metrics[name]
+                if got != want:
+                    print(f"  {name}: resumed {got} != reference {want}")
+            return 1
+        if resumed.ci95 != reference.ci95:
+            print("batch-smoke: FAIL -- resumed CIs diverge from reference")
+            return 1
+        if glob.glob(os.path.join(ckpt, "campaign-*.ckpt")):
+            print("batch-smoke: FAIL -- finished batch left its checkpoint behind")
+            return 1
+
+        print(
+            f"batch-smoke: OK -- kill-and-resume matched the uninterrupted "
+            f"{REPLICAS}-lane campaign (accepted "
+            f"{resumed.accepted_rate:.4f} +- {resumed.ci95['accepted_rate']:.4f})"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

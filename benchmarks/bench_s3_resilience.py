@@ -17,11 +17,18 @@ Every spec is a frozen :class:`~repro.faults.CampaignSpec` run through
 --jobs N --cache DIR`` parallelizes and memoizes the sweep like any
 other figure.  The dense variant is marked ``slow`` and excluded from
 ``repro figures``; run it with ``pytest -m slow benchmarks/``.
+
+Each point is a Monte-Carlo batch of ``REPLICAS`` seed-varied lanes
+(one compiled network, time-multiplexed; see docs/BATCHING.md), so the
+curve's accepted-rate and latency columns are means with 95%
+confidence half-widths -- emitted both in the table and in
+``results/BENCH_s3.json``.  ``python -m repro figures --replicas N``
+(or REPRO_REPLICAS) overrides the lane count.
 """
 
 import pytest
 
-from _common import emit, get_runner
+from _common import emit, emit_json, get_runner
 
 from repro.core.config import LinkConfig
 from repro.faults import (
@@ -30,12 +37,14 @@ from repro.faults import (
     FaultWindow,
     checkpoint_options_from_env,
     render_campaign,
+    replicas_from_env,
 )
 from repro.network.experiments import TopologyNocBuilder
 from repro.network.noc import NocBuildConfig
 from repro.network.topology import mesh
 
 RATE = 0.05
+REPLICAS = 8  # default Monte-Carlo lanes per point (REPRO_REPLICAS overrides)
 BERS = (0.0, 0.01, 0.05, 0.1, 0.2)
 DENSE_BERS = (0.0, 0.005, 0.01, 0.02, 0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4)
 CORNER = "link.sw_0_0.p*"  # every link leaving the corner switch
@@ -76,10 +85,14 @@ def sweep_specs(bers):
 
 
 def run_sweep(bers):
-    # --checkpoint-every / --checkpoint-dir / --resume arrive via the
-    # environment, like --jobs / --cache do (see python -m repro figures).
+    # --checkpoint-every / --checkpoint-dir / --resume / --replicas
+    # arrive via the environment, like --jobs / --cache do (see
+    # python -m repro figures).
     return FaultCampaign(
-        sweep_specs(bers), runner=get_runner(), **checkpoint_options_from_env()
+        sweep_specs(bers),
+        runner=get_runner(),
+        replicas=replicas_from_env(default=REPLICAS),
+        **checkpoint_options_from_env(),
     ).run()
 
 
@@ -91,6 +104,28 @@ def check_and_emit(results, bers, figure: str) -> None:
         render_campaign(results),
     ]
     emit(figure, rows)
+    emit_json(f"BENCH_{figure.replace('_resilience', '')}", {
+        "bench": figure,
+        "rate": RATE,
+        "bers": list(bers),
+        "replicas": results[0].replicas,
+        "points": [
+            {
+                "label": r.label,
+                "accepted_rate": r.accepted_rate,
+                "mean_latency": r.mean_latency,
+                "p95_latency": r.p95_latency,
+                "errors_injected": r.errors_injected,
+                "flits_dropped": r.flits_dropped,
+                "retransmissions": r.retransmissions,
+                "failed": r.failed,
+                "no_progress": r.no_progress,
+                "replicas": r.replicas,
+                "ci95": r.ci95,
+            }
+            for r in results
+        ],
+    })
 
     # Nothing in the sweep may wedge: the campaigns all finish and the
     # watchdog never has to intervene.

@@ -1,0 +1,212 @@
+"""S4 -- batched Monte-Carlo throughput: replica lanes vs scalar runs.
+
+The Monte-Carlo shape behind every confidence interval in this repo:
+run the *same* fabric under hundreds of seeds (and per-lane fault
+phases) and reduce.  A scalar workflow pays build + codegen +
+the full idle horizon for every seed; the batched kernel
+(:mod:`repro.sim.batch`, docs/BATCHING.md) elaborates and compiles
+once, time-multiplexes replica lanes over the one object graph, and
+collapses each lane's post-traffic idle tail to O(1) via the generated
+``run_to_event`` entry plus fault-event catch-up.
+
+The workload is the bounded-episode case that skipping targets: a 2x2
+mesh, two masters with sparse uniform traffic capped at a few
+transactions each, a fault window whose phase varies per lane, and a
+long measurement horizon -- so almost all of the scalar run is idle
+loop.  Asserted floors: a ``REPLICAS``-lane batch beats sequential
+scalar compiled runs by >= 10x per replica, and lane 0 is
+digest-identical to a scalar compiled run, which itself is
+digest-identical across all three kernels (``verify_fast_path``).
+
+Scalar per-run cost is flat in the replica index (each run rebuilds,
+recompiles and re-runs from scratch), so the sequential-1024 total is
+timed over ``SCALAR_RUNS_TIMED`` runs and projected linearly; the
+measured per-run mean, the projection, and the full batch timing all
+land in ``results/BENCH_s4.json``.
+"""
+
+import time
+
+from _common import emit, emit_json
+
+from repro.faults import FaultInjector, FaultWindow
+from repro.network.experiments import TopologyNocBuilder, verify_fast_path
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import mesh
+from repro.network.traffic import UniformRandomTraffic
+from repro.sim.batch import SEED_STRIDE, BatchSimulator
+
+HORIZON = 100_000
+RATE = 0.002
+MAX_TRANSACTIONS = 3
+SEED = 0
+REPLICAS = 1024
+SCALAR_RUNS_TIMED = 128
+CORNER = "link.sw_0_0.p*"  # every link leaving the corner switch
+
+
+def lane_windows(k: int):
+    """Lane ``k``'s fault schedule: the same burst shape at a
+    lane-specific phase.  Lane 0 is the construction schedule, so the
+    scalar-equivalence digest check stays exact."""
+    return (
+        FaultWindow(
+            CORNER, start=500 + 97 * (k % 64), duration=400, error_rate=0.2
+        ),
+    )
+
+
+def arm(noc) -> None:
+    FaultInjector(noc, lane_windows(0))
+
+
+def build(kernel: str = "compiled", lane: int = 0):
+    """The scalar construction of replica ``lane``: what a user without
+    the batch runner would build once per seed."""
+    builder = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(kernel=kernel),
+    )
+    noc = builder()
+    FaultInjector(noc, lane_windows(lane))
+    noc.populate(
+        {
+            c: UniformRandomTraffic(
+                noc.topology.targets, RATE,
+                seed=SEED + 17 * i + lane * SEED_STRIDE,
+            )
+            for i, c in enumerate(noc.topology.initiators)
+        },
+        max_transactions=MAX_TRANSACTIONS,
+    )
+    return noc
+
+
+def collect(noc, k: int):
+    return {
+        "completed": float(noc.total_completed()),
+        "mean_latency": noc.aggregate_latency().mean(),
+        "retransmissions": float(noc.total_retransmissions()),
+        "errors_injected": float(noc.total_errors_injected()),
+    }
+
+
+def run_batch_phase():
+    """Build + compile once, run every replica lane; returns the
+    timing split and the reduced result."""
+    t0 = time.perf_counter()
+    noc = build()
+    batch = BatchSimulator(noc, REPLICAS, lane_windows=lane_windows)
+    t1 = time.perf_counter()
+    result = batch.run_lanes(HORIZON, collect, digest=True)
+    t2 = time.perf_counter()
+    return {
+        "setup_seconds": t1 - t0,
+        "run_seconds": t2 - t1,
+        "total_seconds": t2 - t0,
+        "result": result,
+        "sim": noc.sim,
+    }
+
+
+def test_s4_batch(benchmark):
+    batch = benchmark.pedantic(run_batch_phase, rounds=1, iterations=1)
+    result = batch["result"]
+    per_lane = batch["total_seconds"] / REPLICAS
+
+    # The sequential baseline: rebuild + recompile + run per seed.
+    t0 = time.perf_counter()
+    scalar_digest0 = None
+    for k in range(SCALAR_RUNS_TIMED):
+        noc = build(lane=k)
+        noc.sim.compile()
+        noc.run(HORIZON)
+        if k == 0:
+            scalar_digest0 = noc.stats_digest()
+    scalar_seconds = time.perf_counter() - t0
+    per_run = scalar_seconds / SCALAR_RUNS_TIMED
+    sequential_projected = per_run * REPLICAS
+    speedup = per_run / per_lane
+
+    # Lane 0 is bit-identical to the scalar compiled run, which in turn
+    # is digest-identical across all three kernels on this workload.
+    assert result.digests[0] == scalar_digest0, (
+        "batch lane 0 diverged from the scalar compiled run"
+    )
+    three_way = verify_three_way()
+    assert three_way == scalar_digest0, (
+        "verify_fast_path digest differs from the bench's scalar run"
+    )
+
+    # Every lane ran the full horizon and completed its bounded episode.
+    assert all(
+        v == 2 * MAX_TRANSACTIONS for v in result.metrics["completed"]
+    ), "a lane failed to complete its transactions"
+    skip = batch["sim"]
+    skip_frac = skip.ticks_skipped / (skip.ticks_skipped + skip.ticks_executed)
+
+    rows = [
+        f"S4: batched Monte-Carlo ({REPLICAS} lanes, 2x2 mesh, "
+        f"{HORIZON} cycle horizon, rate {RATE}, "
+        f"{MAX_TRANSACTIONS} transactions/master)",
+        f"batch: setup {batch['setup_seconds'] * 1e3:.1f} ms + "
+        f"run {batch['run_seconds']:.2f} s"
+        f" = {per_lane * 1e3:.2f} ms/lane",
+        f"scalar: {per_run * 1e3:.1f} ms/run "
+        f"(timed over {SCALAR_RUNS_TIMED} runs; "
+        f"{REPLICAS} sequential ~= {sequential_projected:.1f} s)",
+        f"speedup: {speedup:.1f}x per replica",
+        f"ticks skipped (last lane): {skip_frac:.0%}",
+        f"lane-0 digest == scalar compiled == fast == interpreted: yes",
+        f"mean latency: {result.reduced['mean_latency']['mean']:.1f} "
+        f"+- {result.reduced['mean_latency']['ci95']:.1f} "
+        f"(95% CI over {REPLICAS} lanes)",
+        f"retransmissions: {result.reduced['retransmissions']['mean']:.2f} "
+        f"+- {result.reduced['retransmissions']['ci95']:.2f}",
+    ]
+    emit("s4_batch", rows)
+
+    emit_json("BENCH_s4", {
+        "bench": "s4_batch",
+        "mesh": "2x2",
+        "replicas": REPLICAS,
+        "horizon_cycles": HORIZON,
+        "rate": RATE,
+        "max_transactions": MAX_TRANSACTIONS,
+        "seed_stride": SEED_STRIDE,
+        "batch": {
+            "setup_seconds": batch["setup_seconds"],
+            "run_seconds": batch["run_seconds"],
+            "total_seconds": batch["total_seconds"],
+            "seconds_per_lane": per_lane,
+            "ticks_skipped_fraction_last_lane": skip_frac,
+        },
+        "scalar": {
+            "runs_timed": SCALAR_RUNS_TIMED,
+            "seconds_per_run": per_run,
+            "sequential_1024_seconds_projected": sequential_projected,
+        },
+        "speedup": speedup,
+        "lane0_digest_matches_scalar": True,
+        "three_kernel_digest_matches": True,
+        "reduced": result.reduced,
+    })
+
+    assert speedup >= 10.0, (
+        f"batched lanes must be >= 10x cheaper than sequential scalar "
+        f"runs on this workload, got {speedup:.1f}x"
+    )
+    assert skip_frac > 0.5, "the idle tail should dominate this workload"
+
+
+def verify_three_way() -> str:
+    """Digest-identical lane-0 workload under all three kernels."""
+    return verify_fast_path(
+        TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2),
+        cycles=HORIZON,
+        rate=RATE,
+        seed=SEED,
+        attach=arm,
+        kernels=("compiled", "fast", "interpreted"),
+        max_transactions=MAX_TRANSACTIONS,
+    )

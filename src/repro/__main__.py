@@ -105,14 +105,15 @@ def _figures(
     checkpoint_every: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     resume: bool = False,
+    replicas: "int | None" = None,
 ) -> int:
     import os
 
     import pytest
 
     # The benchmarks run under pytest, so the runner configuration
-    # travels via the environment (ExperimentRunner.from_env and
-    # checkpoint_options_from_env read it).
+    # travels via the environment (ExperimentRunner.from_env,
+    # checkpoint_options_from_env and replicas_from_env read it).
     if jobs > 1:
         os.environ["REPRO_JOBS"] = str(jobs)
     if cache:
@@ -123,6 +124,8 @@ def _figures(
         os.environ["REPRO_CHECKPOINT_DIR"] = checkpoint_dir
     if resume:
         os.environ["REPRO_RESUME"] = "1"
+    if replicas is not None:
+        os.environ["REPRO_REPLICAS"] = str(replicas)
     # "slow" marks the dense resilience sweeps; the committed figures
     # come from the regular-size runs.
     return pytest.main(["benchmarks/", "--benchmark-only", "-q", "-m", "not slow"])
@@ -224,6 +227,7 @@ def _faults(
     checkpoint_every: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     resume: bool = False,
+    replicas: "int | None" = None,
 ) -> int:
     from repro.faults import CampaignSpec, FaultCampaign, FaultWindow, render_campaign
     from repro.flow.runner import ExperimentRunner
@@ -237,6 +241,7 @@ def _faults(
         "checkpoint_every": checkpoint_every,
         "checkpoint_dir": checkpoint_dir,
         "resume": resume,
+        "replicas": replicas,
     }
 
     plain = TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2)
@@ -370,6 +375,15 @@ def main(argv=None) -> int:
         "checkpoints instead of recomputing",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="figures/faults: measure every point under N seed-varied "
+        "replica lanes and report mean +- 95%% CI (default: single "
+        "seed; see docs/BATCHING.md)",
+    )
+    parser.add_argument(
         "--out",
         default="telemetry-report",
         metavar="DIR",
@@ -424,6 +438,7 @@ def main(argv=None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            replicas=args.replicas,
         )
     if args.command == "faults":
         return _faults(
@@ -433,6 +448,7 @@ def main(argv=None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            replicas=args.replicas,
         )
     if args.command == "report":
         return _report(

@@ -94,7 +94,8 @@ class GoBackNSender:
         self.resyncs = 0
 
     def reset(self) -> None:
-        self._buffer = []
+        # In place: compiled programs bind this list at elaboration.
+        del self._buffer[:]
         self._send_ptr = 0
         self._next_seqno = 0
         self._last_sent_seqno = -1

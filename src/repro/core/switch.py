@@ -152,7 +152,8 @@ class Switch(Component):
             o.reset()
         for a in self._arbiters:
             a.reset()
-        self._input_dest = [None] * self.config.n_inputs
+        # In place: compiled programs bind this list at elaboration.
+        self._input_dest[:] = [None] * self.config.n_inputs
         self.flits_routed = 0
         self.allocation_conflicts = 0
         self._head_arrival = [None] * self.config.n_inputs

@@ -25,10 +25,13 @@ from repro.faults.campaign import (
     CampaignSpec,
     CheckpointedCampaign,
     FaultCampaign,
+    ReplicatedCampaign,
     campaign_checkpoint_path,
     checkpoint_options_from_env,
     render_campaign,
+    replicas_from_env,
     run_campaign,
+    run_campaign_replicated,
 )
 from repro.faults.injector import (
     FAULT_MODES,
@@ -48,9 +51,12 @@ __all__ = [
     "FaultWindow",
     "NoProgressError",
     "ProgressWatchdog",
+    "ReplicatedCampaign",
     "campaign_checkpoint_path",
     "checkpoint_options_from_env",
     "randomized_windows",
     "render_campaign",
+    "replicas_from_env",
     "run_campaign",
+    "run_campaign_replicated",
 ]

@@ -84,34 +84,18 @@ class FaultInjector(Component):
     #: (_next_event, _open, counters, probe baselines) is captured.
     SNAPSHOT_STRUCTURAL = frozenset({"noc", "_resolved", "_events"})
 
-    def __init__(self, noc, windows: Sequence[FaultWindow], name: str = "faults") -> None:
+    def __init__(
+        self,
+        noc,
+        windows: Sequence[FaultWindow],
+        name: str = "faults",
+        probe_links: Sequence[str] = (),
+    ) -> None:
         super().__init__(name)
         self.noc = noc
-        self.windows: Tuple[FaultWindow, ...] = tuple(windows)
-        by_name = {link.name: link for link in noc.links}
-        # Resolve every window to concrete links up front so typos fail
-        # at construction, not silently mid-campaign.
+        self.windows: Tuple[FaultWindow, ...] = ()
         self._resolved: List[Tuple[FaultWindow, Tuple[Link, ...]]] = []
-        events: List[Tuple[int, int, int, Link, FaultWindow, bool]] = []
-        for wi, w in enumerate(self.windows):
-            if any(ch in w.link for ch in "*?["):
-                names = fnmatch.filter(sorted(by_name), w.link)
-            else:
-                names = [w.link] if w.link in by_name else []
-            if not names:
-                raise SimulationError(
-                    f"fault window matches no link: {w.link!r} "
-                    f"(links are named e.g. {next(iter(sorted(by_name)))!r})"
-                )
-            links = tuple(by_name[n] for n in names)
-            self._resolved.append((w, links))
-            for link in links:
-                # Tie-break by (cycle, open-before-close, window index)
-                # so schedules are deterministic however windows overlap.
-                events.append((w.start, 0, wi, link, w, True))
-                events.append((w.end, 1, wi, link, w, False))
-        events.sort(key=lambda e: (e[0], e[1], e[2], e[3].name))
-        self._events = events
+        self._events: List[Tuple[int, int, int, Link, FaultWindow, bool]] = []
         self._next_event = 0
         # Per link: stack of currently open windows, newest last.
         self._open: Dict[str, List[FaultWindow]] = {}
@@ -127,15 +111,96 @@ class FaultInjector(Component):
         #: instants (see :mod:`repro.telemetry.lifecycle`).
         self.lifecycle = False
 
+        self._resolve(windows)
+
         noc.sim.add(self)
         # Register on the NoC so enable_lifecycle / telemetry find us.
         if not hasattr(noc, "fault_injectors"):
             noc.fault_injectors = []
         noc.fault_injectors.append(self)
-        for link in {l for _, links in self._resolved for l in links}:
+        # Probes are structural (registering one invalidates a compiled
+        # program), so they are laid down once, here: on every link the
+        # initial schedule touches plus any ``probe_links`` names given
+        # up front.  ``set_windows`` may later swap in any schedule that
+        # stays within this probed set -- the batch runner pre-declares
+        # the union of its per-lane schedules this way.
+        probed = {l for _, links in self._resolved for l in links}
+        by_name = {link.name: link for link in noc.links}
+        for pat in probe_links:
+            names = (
+                fnmatch.filter(sorted(by_name), pat)
+                if any(ch in pat for ch in "*?[")
+                else ([pat] if pat in by_name else [])
+            )
+            if not names:
+                raise SimulationError(
+                    f"probe_links pattern matches no link: {pat!r}"
+                )
+            probed.update(by_name[n] for n in names)
+        for link in probed:
             self.flits_during_fault[link.name] = 0
             self._probe_last[link.name] = 0
             noc.sim.add_probe(link, self._make_probe(link))
+
+    def _resolve(self, windows: Sequence[FaultWindow]) -> None:
+        """Resolve ``windows`` onto concrete links and rebuild the
+        sorted event schedule.  Typos fail here, not mid-campaign."""
+        by_name = {link.name: link for link in self.noc.links}
+        resolved: List[Tuple[FaultWindow, Tuple[Link, ...]]] = []
+        events: List[Tuple[int, int, int, Link, FaultWindow, bool]] = []
+        for wi, w in enumerate(windows):
+            if any(ch in w.link for ch in "*?["):
+                names = fnmatch.filter(sorted(by_name), w.link)
+            else:
+                names = [w.link] if w.link in by_name else []
+            if not names:
+                raise SimulationError(
+                    f"fault window matches no link: {w.link!r} "
+                    f"(links are named e.g. {next(iter(sorted(by_name)))!r})"
+                )
+            links = tuple(by_name[n] for n in names)
+            resolved.append((w, links))
+            for link in links:
+                # Tie-break by (cycle, open-before-close, window index)
+                # so schedules are deterministic however windows overlap.
+                events.append((w.start, 0, wi, link, w, True))
+                events.append((w.end, 1, wi, link, w, False))
+        events.sort(key=lambda e: (e[0], e[1], e[2], e[3].name))
+        self.windows = tuple(windows)
+        self._resolved = resolved
+        self._events = events
+
+    def set_windows(self, windows: Sequence[FaultWindow]) -> None:
+        """Replace the fault schedule on a live injector.
+
+        Meant for replica-lane reuse (:mod:`repro.sim.batch`): the same
+        built network runs many schedules without re-registering probes,
+        so a compiled program stays valid.  Every link the new schedule
+        resolves to must already be probed -- construct the injector
+        with ``probe_links`` naming the union of all schedules' links.
+        Progress state is cleared exactly as :meth:`reset` clears it;
+        call at a cycle-0 boundary (after ``sim.reset()``).
+        """
+        old_links = {l for _, links in self._resolved for l in links}
+        self._resolve(windows)
+        new_links = {l for _, links in self._resolved for l in links}
+        missing = sorted(
+            l.name for l in new_links if l.name not in self.flits_during_fault
+        )
+        if missing:
+            raise SimulationError(
+                f"set_windows touches unprobed link(s) {missing}: pass "
+                f"probe_links= at construction to pre-declare them"
+            )
+        self._next_event = 0
+        self._open.clear()
+        self.windows_opened = 0
+        self.windows_closed = 0
+        for name in self.flits_during_fault:
+            self.flits_during_fault[name] = 0
+            self._probe_last[name] = 0
+        for link in old_links | new_links:
+            link.clear_fault()
 
     def _make_probe(self, link: Link):
         def probe(_cycle: int) -> None:
@@ -176,6 +241,17 @@ class FaultInjector(Component):
             link.set_fault(error_rate=1.0)
         else:
             link.set_fault(error_rate=w.error_rate)
+
+    def catch_up(self, cycle: int) -> None:
+        """Apply every event scheduled at or before ``cycle`` at once.
+
+        Equivalent to ticking the injector on every cycle of a span in
+        which nothing else happened: ``_apply`` depends only on the open
+        stack, so collapsing the per-cycle calls is exact.  The batch
+        runner uses this after skipping an idle span (see
+        :mod:`repro.sim.batch`).
+        """
+        self.tick(cycle)
 
     def tick(self, cycle: int) -> None:
         # Overrides set during tick(t) govern flits the link samples at

@@ -623,6 +623,34 @@ class ExperimentRunner:
             raise first_exc
         return results
 
+    def map_replicated(
+        self,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any],
+        replicas: int,
+        fan: Callable[[Any, int], Any],
+        label: str = "point",
+        **map_kwargs: Any,
+    ) -> List[List[Any]]:
+        """Map every point under ``replicas`` variants, grouped back.
+
+        ``fan(point, k)`` builds the ``k``-th variant of a point --
+        typically the same measurement under a per-replica seed.  The
+        fanned list runs through :meth:`map` as one flat batch, so each
+        variant caches, journals and retries independently (growing
+        ``replicas`` later re-runs only the new lanes).  Results come
+        back grouped per original point, replicas in fan order;
+        ``last_manifests`` stays flat in the fanned order
+        (``len(points) * replicas`` entries when nothing failed).
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        fanned = [fan(p, k) for p in points for k in range(replicas)]
+        flat = self.map(fn, fanned, label=label, **map_kwargs)
+        return [
+            flat[i * replicas:(i + 1) * replicas] for i in range(len(points))
+        ]
+
     def _run_pool(
         self,
         fn: Callable[[Any], Any],

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -30,6 +31,7 @@ from repro.flow.runner import RunManifest
 from repro.network.noc import Noc, NocBuildConfig
 from repro.network.topology import attach_round_robin
 from repro.network.traffic import UniformRandomTraffic
+from repro.sim.batch import SEED_STRIDE, mean_ci95
 from repro.sim.kernel import SimulationError
 
 
@@ -46,6 +48,14 @@ class LoadPoint:
     #: attached by :func:`load_sweep`, excluded from equality so cached
     #: and freshly computed points still compare equal.
     manifest: Optional[RunManifest] = field(default=None, compare=False)
+    #: Replica lanes this point was reduced over (1 = a single seed, the
+    #: historical behaviour; the metric fields are then raw, not means).
+    replicas: int = 1
+    #: Per-metric 95% confidence half-widths when ``replicas > 1``:
+    #: ``{"accepted_rate": ..., "mean_latency": ..., "p95_latency": ...}``
+    #: (see ``docs/BATCHING.md`` for the Student-t math).  Excluded from
+    #: equality/hash like the manifest: it is derived, and a dict.
+    ci95: Optional[dict] = field(default=None, compare=False)
 
     @property
     def saturated(self) -> bool:
@@ -131,6 +141,58 @@ def measure_load_point(
     )
 
 
+def measure_load_point_lane(
+    build_noc: Callable[[], "Noc"],
+    rate_and_seed: Tuple[float, int],
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    max_outstanding: int = 4,
+) -> LoadPoint:
+    """One replica lane of a load point: ``(rate, lane_seed)`` in.
+
+    The replicated sweep varies only the seed between lanes, and an
+    :class:`~repro.flow.runner.ExperimentRunner` caches per *point*, so
+    the seed must live inside the point -- this module-level unpacking
+    wrapper is what gets fanned out and hashed.
+    """
+    rate, lane_seed = rate_and_seed
+    return measure_load_point(
+        build_noc,
+        rate,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        max_outstanding=max_outstanding,
+        seed=lane_seed,
+    )
+
+
+def _reduce_lanes(rate: float, lanes: Sequence[LoadPoint]) -> LoadPoint:
+    """Reduce one rate's replica lanes to a mean point with 95% CIs.
+
+    Lanes that completed no transactions report infinite latency; they
+    are excluded from the latency mean/CI (an all-empty rate stays
+    ``inf``, matching the single-seed convention).
+    """
+    acc_mean, acc_half = mean_ci95([p.accepted_rate for p in lanes])
+    finite_mean = [p.mean_latency for p in lanes if math.isfinite(p.mean_latency)]
+    finite_p95 = [p.p95_latency for p in lanes if math.isfinite(p.p95_latency)]
+    lat_mean, lat_half = mean_ci95(finite_mean) if finite_mean else (float("inf"), 0.0)
+    p95_mean, p95_half = mean_ci95(finite_p95) if finite_p95 else (float("inf"), 0.0)
+    return LoadPoint(
+        offered_rate=rate,
+        accepted_rate=acc_mean,
+        mean_latency=lat_mean,
+        p95_latency=p95_mean,
+        completed=int(round(sum(p.completed for p in lanes) / len(lanes))),
+        replicas=len(lanes),
+        ci95={
+            "accepted_rate": acc_half,
+            "mean_latency": lat_half,
+            "p95_latency": p95_half,
+        },
+    )
+
+
 def load_sweep(
     build_noc: Callable[[], "Noc"],
     rates: Sequence[float],
@@ -139,6 +201,8 @@ def load_sweep(
     max_outstanding: int = 4,
     seed: int = 0,
     runner=None,
+    replicas: int = 1,
+    seed_stride: int = SEED_STRIDE,
 ) -> List[LoadPoint]:
     """Latency/throughput at each offered load.
 
@@ -156,9 +220,30 @@ def load_sweep(
     :class:`~repro.flow.runner.RunManifest` in ``point.manifest``
     recording where the number came from: with a runner, the cache key
     plus hit/miss and compute seconds; inline, a keyless timed record.
+
+    ``replicas > 1`` measures every rate under that many seeds (lane
+    ``k`` uses ``seed + k * seed_stride``) and reduces each rate's lanes
+    to one mean point carrying per-metric 95% confidence half-widths in
+    ``point.ci95`` (see ``docs/BATCHING.md``).  With a runner the lanes
+    fan out and cache independently, so growing ``replicas`` reuses the
+    lanes already on disk.
     """
     if warmup_cycles < 0 or measure_cycles <= 0:
         raise ValueError("invalid warmup/measurement window")
+    if replicas < 1:
+        raise ValueError("load_sweep needs replicas >= 1")
+    if replicas > 1:
+        return _load_sweep_replicated(
+            build_noc,
+            rates,
+            warmup_cycles=warmup_cycles,
+            measure_cycles=measure_cycles,
+            max_outstanding=max_outstanding,
+            seed=seed,
+            runner=runner,
+            replicas=replicas,
+            seed_stride=seed_stride,
+        )
     fn = functools.partial(
         measure_load_point,
         build_noc,
@@ -184,6 +269,59 @@ def load_sweep(
     ]
 
 
+def _load_sweep_replicated(
+    build_noc: Callable[[], "Noc"],
+    rates: Sequence[float],
+    *,
+    warmup_cycles: int,
+    measure_cycles: int,
+    max_outstanding: int,
+    seed: int,
+    runner,
+    replicas: int,
+    seed_stride: int,
+) -> List[LoadPoint]:
+    """The ``replicas > 1`` arm of :func:`load_sweep`: fan, measure,
+    reduce.  Each reduced point's manifest is its first lane's (the
+    remaining lanes' provenance lives in the runner's journal)."""
+    rates = list(rates)
+    fn = functools.partial(
+        measure_load_point_lane,
+        build_noc,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        max_outstanding=max_outstanding,
+    )
+    if runner is None:
+        out = []
+        for rate in rates:
+            t0 = time.perf_counter()
+            lanes = [
+                fn((rate, seed + k * seed_stride)) for k in range(replicas)
+            ]
+            manifest = RunManifest.local(
+                key="", cached=False, seconds=time.perf_counter() - t0
+            )
+            out.append(
+                dataclasses.replace(_reduce_lanes(rate, lanes), manifest=manifest)
+            )
+        return out
+    groups = runner.map_replicated(
+        fn,
+        rates,
+        replicas,
+        fan=lambda rate, k: (rate, seed + k * seed_stride),
+        label="load_sweep",
+    )
+    return [
+        dataclasses.replace(
+            _reduce_lanes(rate, lanes),
+            manifest=runner.last_manifests[i * replicas],
+        )
+        for i, (rate, lanes) in enumerate(zip(rates, groups))
+    ]
+
+
 def verify_fast_path(
     build_noc: Callable[[], "Noc"],
     cycles: int = 2000,
@@ -192,6 +330,7 @@ def verify_fast_path(
     seed: int = 0,
     attach: Optional[Callable[["Noc"], None]] = None,
     kernels: Sequence[str] = ("fast", "interpreted"),
+    max_transactions: Optional[int] = None,
 ) -> str:
     """Cross-check the simulator's scheduler modes against each other.
 
@@ -211,6 +350,8 @@ def verify_fast_path(
     traffic is populated -- the hook fault campaigns use to arm a
     :class:`~repro.faults.FaultInjector` on every instance and prove the
     quiescence contract holds while fault windows open and close.
+    ``max_transactions`` bounds each master (the Monte-Carlo episode
+    shape the batched kernel skips idle tails of; see docs/BATCHING.md).
     """
     if len(kernels) < 2:
         raise ValueError(f"need at least two kernels to compare, got {kernels!r}")
@@ -228,6 +369,7 @@ def verify_fast_path(
                 for i, c in enumerate(initiators)
             },
             max_outstanding=max_outstanding,
+            max_transactions=max_transactions,
         )
         if kern == "compiled":
             noc.sim.compile()  # eager: fail loudly, after attach/populate
@@ -337,13 +479,18 @@ def saturation_rate(points: Sequence[LoadPoint], knee_factor: float = 3.0) -> Op
 
 
 def render_sweep(points: Sequence[LoadPoint], title: str = "load sweep") -> str:
-    lines = [
-        title,
-        f"{'offered':>8} {'accepted':>9} {'mean lat':>9} {'p95 lat':>8}",
-    ]
+    with_ci = any(p.ci95 for p in points)
+    header = f"{'offered':>8} {'accepted':>9} {'mean lat':>9} {'p95 lat':>8}"
+    if with_ci:
+        header += f" {'+-lat95':>8} {'lanes':>6}"
+    lines = [title, header]
     for p in points:
-        lines.append(
+        row = (
             f"{p.offered_rate:>8.3f} {p.accepted_rate:>9.3f} "
             f"{p.mean_latency:>9.1f} {p.p95_latency:>8.0f}"
         )
+        if with_ci:
+            half = (p.ci95 or {}).get("mean_latency", 0.0)
+            row += f" {half:>8.1f} {p.replicas:>6d}"
+        lines.append(row)
     return "\n".join(lines)

@@ -98,11 +98,33 @@ class CompiledProgram:
     lanes:
         Lane name -> component count (a compile summary for tests and
         benchmarks).
+    run_to_event:
+        ``run_to_event(n)`` -- run at most ``n`` cycles, returning the
+        number actually consumed; returns early (after completing a
+        cycle) once the network is provably idle: nothing woke for the
+        next cycle, no wire holds a non-default value, and no
+        drawer-lane master can still inject.  Unlike ``run`` it never
+        re-arms sleeping masters on exit -- callers that stop mid-run
+        must pair it with :meth:`rearm` before snapshotting or
+        digesting.  The batch runner (:mod:`repro.sim.batch`) is the
+        intended caller.
+    rearm:
+        ``rearm()`` -- restore the interpreted kernels' run-boundary
+        invariant (every unfinished drawer-lane master awake), exactly
+        what ``run`` does in its epilogue.
+    meta:
+        Static facts the batch runner needs to reason about skipped
+        spans: ``n_components``, ``n_always``, plus the ``always`` and
+        ``masters`` component-name tuples.
     """
 
-    __slots__ = ("source", "run", "rev", "lane_of", "lanes")
+    __slots__ = (
+        "source", "run", "rev", "lane_of", "lanes",
+        "run_to_event", "rearm", "meta",
+    )
 
-    def __init__(self, source, run, rev, lane_of):
+    def __init__(self, source, run, rev, lane_of,
+                 run_to_event=None, rearm=None, meta=None):
         self.source = source
         self.run = run
         self.rev = rev
@@ -110,6 +132,9 @@ class CompiledProgram:
         self.lanes: Dict[str, int] = {}
         for lane in self.lane_of.values():
             self.lanes[lane] = self.lanes.get(lane, 0) + 1
+        self.run_to_event = run_to_event
+        self.rearm = rearm
+        self.meta: Dict[str, object] = dict(meta or {})
 
     def __repr__(self) -> str:
         summary = " ".join(f"{k}={v}" for k, v in sorted(self.lanes.items()))
@@ -870,6 +895,7 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
     lane_of: List[Tuple[str, str]] = []
     bind: List[str] = []
     masters: List[str] = []  # variable names of drawer-lane masters
+    gates: List[str] = []  # per-master injection-window gate expressions
     blocks: List[str] = []  # unrolled per-master gate blocks (slow loop)
     fast_sleep: List[str] = []  # fast-loop variant, awake set non-empty
     fast_idle: List[str] = []  # fast-loop variant, awake set empty
@@ -903,6 +929,7 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
             gate = f"_len(if{i}) < {maxo}"
             if c.max_transactions is not None:
                 gate += f" and {var}.issued < {int(c.max_transactions)}"
+            gates.append(f"({gate})")
             rebinds.append(f"        arm{i} = {gate}")
             blocks.append(
                 f"""\
@@ -1027,8 +1054,7 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
         slow_epilogue = ""
         body_indent = False
 
-    slow_loop = f"""\
-        for _ in range(n):
+    cycle_body = f"""\
             awake = nxt
             S._awake = nxt = {{}}
             slept = 0
@@ -1075,8 +1101,60 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
                 fn(cyc)
             cyc += 1
             S.cycle = cyc"""
+    slow_loop = "        for _ in range(n):\n" + cycle_body
     if body_indent:
         slow_loop = reindent(slow_loop, 4)
+
+    # run_to_event: the observed loop body plus an idle-exit test.  The
+    # test is evaluated after a completed cycle, so an early return
+    # leaves the simulator at an ordinary cycle boundary; the gate
+    # disjunction keeps the loop alive while any drawer-lane master can
+    # still inject (its RNG draws must stay inline to stay
+    # stream-identical).  No run-boundary rearm -- that is the caller's
+    # job, via the generated rearm().
+    idle_cond = ""
+    if gates:
+        idle_cond = " and not (" + " or ".join(gates) + ")"
+    rte_loop = (
+        "        done = 0\n"
+        "        for _ in range(n):\n"
+        + cycle_body
+        + f"""
+            done += 1
+            if not nxt and not HOT{idle_cond}:
+                break
+        return done"""
+    )
+    run_to_event = f"""\
+    def run_to_event(n):
+        # Bounded observed run that stops early -- after completing a
+        # cycle -- once the network is provably idle; returns the cycle
+        # count actually consumed.  See CompiledProgram.run_to_event.
+        cyc = S.cycle
+        te0 = S.ticks_executed
+        ts0 = S.ticks_skipped
+        exe = 0
+        skp = 0
+        rck = None
+        rcv = ()
+        nxt = S._awake
+        _len = len
+{master_rebinds}\
+{rte_loop}"""
+    if masters:
+        rearm_fn = f"""\
+    def rearm():
+        # The run-boundary invariant run()'s epilogue maintains, as a
+        # separate entry for run_to_event callers.
+        aw = S._awake
+        for m in ({", ".join(masters)},):
+            if not m.is_quiescent():
+                aw[m] = None"""
+    else:
+        rearm_fn = """\
+    def rearm():
+        # No drawer-lane masters: the run-boundary invariant is free.
+        pass"""
 
     run_slow = f"""\
     def run_slow(n):
@@ -1181,7 +1259,10 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
             return run_slow(n)
         return run_fast(n)"""
 
-    run_fn = run_slow + "\n        return None\n\n" + run_fast
+    run_fn = (
+        run_slow + "\n        return None\n\n" + run_fast
+        + "\n\n" + run_to_event + "\n\n" + rearm_fn
+    )
 
     header = (
         "# Compiled tick kernel -- generated by repro.sim.compiled; do not\n"
@@ -1205,7 +1286,7 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
         + run_fn
         + "\n"
         "\n"
-        "    return run_cycles\n"
+        "    return run_cycles, run_to_event, rearm\n"
     )
     switch_defs = "\n\n".join(
         _emit_switch(ni, no) for ni, no in sorted(switch_shapes)
@@ -1236,7 +1317,14 @@ def compile_simulator(sim: Simulator) -> CompiledProgram:
     source, lane_of = _generate(sim)
     g: Dict[str, object] = {}
     exec(compile(source, "<repro.sim.compiled>", "exec"), g)
-    run = g["_build"](sim)
+    run, run_to_event, rearm = g["_build"](sim)
+    meta = {
+        "n_components": len(sim._components),
+        "n_always": sum(1 for _, lane in lane_of if lane == "always"),
+        "always": tuple(n for n, lane in lane_of if lane == "always"),
+        "masters": tuple(n for n, lane in lane_of if lane == "master"),
+    }
     return CompiledProgram(
-        source=source, run=run, rev=sim._structure_rev, lane_of=lane_of
+        source=source, run=run, rev=sim._structure_rev, lane_of=lane_of,
+        run_to_event=run_to_event, rearm=rearm, meta=meta,
     )

@@ -312,11 +312,22 @@ class Simulator:
         return program
 
     # -- execution -------------------------------------------------------
-    def reset(self) -> None:
-        """Reset time, all wires and all components."""
-        # Component resets replace sub-objects (RNGs, queues, senders),
-        # so any compiled program's bindings are stale afterwards.
-        self._invalidate_program()
+    def reset(self, invalidate_program: bool = True) -> None:
+        """Reset time, all wires and all components.
+
+        ``invalidate_program=False`` keeps a compiled program's bindings
+        alive across the reset.  That is only sound because every stock
+        component's ``reset`` mutates its codegen-bound containers in
+        place; the batch runner (:mod:`repro.sim.batch`) relies on it to
+        reuse one elaboration across replica lanes, and
+        ``tests/test_batch.py`` proves reset-and-rerun digests match a
+        fresh build.
+        """
+        # Component resets historically replaced sub-objects (RNGs,
+        # queues, senders), so the default conservatively invalidates
+        # any compiled program.
+        if invalidate_program:
+            self._invalidate_program()
         self.cycle = 0
         for w in self._hot_wires:
             w._queued = False

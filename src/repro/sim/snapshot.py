@@ -45,8 +45,14 @@ from repro.sim.channel import Wire
 from repro.sim.kernel import SimulationError, Simulator
 
 #: Bumped whenever the on-disk layout or the captured state set changes
-#: incompatibly; load() refuses snapshots from other versions.
-SNAPSHOT_VERSION = 1
+#: incompatibly; load() refuses snapshots from versions it cannot read.
+#: v2 added the optional ``batch`` container (replica-lane checkpoints,
+#: see ``repro.sim.batch``); v1 files still load, as v2 with no batch.
+SNAPSHOT_VERSION = 2
+
+#: Versions load() accepts: v1 files are plain v2 files without a batch
+#: container, so reading them stays lossless.
+_READABLE_VERSIONS = frozenset({1, SNAPSHOT_VERSION})
 
 #: File header for snapshot files ("xpipes lite checkpoint").
 _MAGIC = b"XLCKPT01"
@@ -143,6 +149,13 @@ class SimSnapshot:
     #: default covers snapshots written before the field existed, derived
     #: from ``fast_path`` (which is retained for exactly that purpose).
     kernel: str = "fast"
+    #: Replica-batch container (format v2+): ``None`` for a scalar
+    #: snapshot; for a batch checkpoint, a plain dict carrying the
+    #: batch-level facts (``replicas``, ``lane``, ``seed_stride``) plus
+    #: the finished lanes' results (``lane_results``), with the regular
+    #: payload holding the in-flight lane's state.  See
+    #: :class:`repro.sim.batch.BatchSimulator` and docs/BATCHING.md.
+    batch: Optional[Dict[str, Any]] = None
 
     def save(self, path: str) -> None:
         """Write ``MAGIC | version | sha256 | envelope`` atomically-ish."""
@@ -155,6 +168,7 @@ class SimSnapshot:
                 "kernel": self.kernel,
                 "structure": self.structure,
                 "payload": self.payload,
+                "batch": self.batch,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -197,10 +211,10 @@ class SimSnapshot:
             raise SnapshotError(f"{path!r} is not a simulator snapshot")
         off = len(_MAGIC)
         version = int.from_bytes(raw[off : off + 4], "big")
-        if version != SNAPSHOT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise SnapshotError(
                 f"snapshot {path!r} is format v{version}; this library "
-                f"reads v{SNAPSHOT_VERSION}"
+                f"reads v{sorted(_READABLE_VERSIONS)}"
             )
         digest = raw[off + 4 : off + 36]
         body = raw[off + 36 :]
@@ -220,11 +234,14 @@ class SimSnapshot:
             kernel=fields.get(
                 "kernel", "fast" if fields["fast_path"] else "interpreted"
             ),
+            batch=fields.get("batch"),
         )
 
 
 def snapshot_simulator(
-    sim: Simulator, extras: Optional[Dict[str, Any]] = None
+    sim: Simulator,
+    extras: Optional[Dict[str, Any]] = None,
+    batch: Optional[Dict[str, Any]] = None,
 ) -> SimSnapshot:
     """Freeze ``sim`` at its current cycle boundary.
 
@@ -232,6 +249,9 @@ def snapshot_simulator(
     must survive with the simulator state (e.g. a campaign's
     mid-measurement counters); it is returned by
     :func:`restore_simulator` and may reference kernel objects.
+    ``batch`` attaches a replica-batch container (plain picklable data,
+    *not* run through the symbolic pickler) -- the v2 format addition
+    that lets one checkpoint carry a whole batch's progress.
     """
     import repro
 
@@ -269,6 +289,7 @@ def snapshot_simulator(
         structure=_structure_of(sim),
         payload=stream.getvalue(),
         kernel=sim.kernel,
+        batch=batch,
     )
 
 
@@ -291,10 +312,10 @@ def restore_simulator(sim: Simulator, snap: SimSnapshot) -> Dict[str, Any]:
     :meth:`~repro.sim.kernel.Simulator.set_fast_path` performs when
     toggled on).
     """
-    if snap.version != SNAPSHOT_VERSION:
+    if snap.version not in _READABLE_VERSIONS:
         raise SnapshotError(
             f"snapshot is format v{snap.version}; this library reads "
-            f"v{SNAPSHOT_VERSION}"
+            f"v{sorted(_READABLE_VERSIONS)}"
         )
     structure = _structure_of(sim)
     if structure != snap.structure:

@@ -1,0 +1,446 @@
+"""Tests for repro.sim.batch: replica lanes over one compiled network.
+
+The batching contract under test (docs/BATCHING.md): lane 0 of a batch
+is bit-identical to a scalar run of the network as built, and lane k to
+a scalar rebuild with every seed offset by ``k * seed_stride``;
+reseed-and-reset reuse of the compiled object graph is unobservable;
+idle-span skipping changes no statistic and no counter; the CI math is
+Student-t with NaN-dropping; batch checkpoints ride the v2 snapshot
+format and a killed replicated campaign resumes to exactly the
+uninterrupted result.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CampaignSpec,
+    FaultInjector,
+    FaultWindow,
+    ReplicatedCampaign,
+    replicas_from_env,
+    run_campaign,
+    run_campaign_replicated,
+)
+from repro.flow.runner import ExperimentRunner
+from repro.network.experiments import TopologyNocBuilder, load_sweep
+from repro.network.noc import NocBuildConfig
+from repro.network.topology import mesh
+from repro.network.traffic import UniformRandomTraffic
+from repro.sim.batch import (
+    SEED_STRIDE,
+    BatchResult,
+    BatchSimulator,
+    mean_ci95,
+    run_batch,
+    summarize,
+    t_quantile_95,
+)
+from repro.sim.kernel import SimulationError
+from repro.sim.snapshot import SimSnapshot
+
+CORNER = "link.sw_0_0.p*"
+WINDOW = FaultWindow(CORNER, start=100, duration=200, error_rate=0.2)
+
+
+def build(lane: int = 0, windows=(WINDOW,), max_transactions=2, rate=0.01,
+          kernel="compiled"):
+    """The scalar construction of replica ``lane``: seeds offset by
+    ``lane * SEED_STRIDE``, exactly what ``begin_lane`` re-creates."""
+    builder = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(kernel=kernel),
+    )
+    noc = builder()
+    if windows:
+        FaultInjector(noc, windows)
+    off = lane * SEED_STRIDE
+    noc.populate(
+        {
+            c: UniformRandomTraffic(noc.topology.targets, rate, seed=17 * i + off)
+            for i, c in enumerate(noc.topology.initiators)
+        },
+        max_transactions=max_transactions,
+    )
+    for link in noc.links:
+        link._seed += off
+    noc.sim.reset()  # links re-draw their RNGs from the offset seeds
+    return noc
+
+
+class TestCIMath:
+    def test_t_quantiles(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(30) == pytest.approx(2.042)
+        assert t_quantile_95(31) == pytest.approx(1.960)  # normal beyond
+        with pytest.raises(ValueError):
+            t_quantile_95(0)
+
+    def test_mean_ci95_known_value(self):
+        mean, half = mean_ci95([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        # t(df=2) * std(ddof=1) / sqrt(3) = 4.303 * 1 / sqrt(3)
+        assert half == pytest.approx(4.303 / math.sqrt(3))
+
+    def test_single_observation_has_no_spread(self):
+        assert mean_ci95([5.0]) == (5.0, 0.0)
+
+    def test_nans_dropped_before_reduction(self):
+        mean, half = mean_ci95([1.0, float("nan"), 3.0])
+        ref_mean, ref_half = mean_ci95([1.0, 3.0])
+        assert (mean, half) == (ref_mean, ref_half)
+
+    def test_all_nan_reduces_to_nan(self):
+        mean, half = mean_ci95([float("nan"), float("nan")])
+        assert math.isnan(mean) and half == 0.0
+        mean, half = mean_ci95([])
+        assert math.isnan(mean) and half == 0.0
+
+    def test_summarize_counts_finite_lanes(self):
+        s = summarize([1.0, float("nan"), 3.0])
+        assert s["n"] == 2
+        assert s["mean"] == pytest.approx(2.0)
+        assert set(s) == {"mean", "ci95", "n"}
+
+
+class TestBatchSimulator:
+    def test_validation(self):
+        noc = build()
+        with pytest.raises(SimulationError):
+            BatchSimulator(noc, 0)
+        with pytest.raises(SimulationError):
+            BatchSimulator(noc, 4, assume_lane=4)
+        batch = BatchSimulator(noc, 2)
+        with pytest.raises(SimulationError):
+            batch.begin_lane(2)
+        batch.begin_lane(0)
+        with pytest.raises(SimulationError):
+            batch.run_exact(-1)
+
+    def test_every_lane_matches_a_scalar_rebuild(self):
+        batch = BatchSimulator(build(), 3)
+        result = batch.run_lanes(
+            5000, lambda noc, k: {"completed": float(noc.total_completed())},
+            digest=True,
+        )
+        for k in range(3):
+            scalar = build(lane=k)
+            scalar.sim.compile()
+            scalar.run(5000)
+            assert result.digests[k] == scalar.stats_digest(), f"lane {k}"
+
+    def test_reset_reuse_is_unobservable(self):
+        # Re-running lane 0 after other lanes have dirtied the object
+        # graph must reproduce the first pass exactly.
+        batch = BatchSimulator(build(), 2)
+        batch.begin_lane(0)
+        batch.run_exact(5000)
+        first = batch.noc.stats_digest()
+        batch.begin_lane(1)
+        batch.run_exact(5000)
+        batch.begin_lane(0)
+        batch.run_exact(5000)
+        assert batch.noc.stats_digest() == first
+
+    def test_skipping_matches_full_execution_and_its_counters(self):
+        # A bounded episode on a long horizon: the skipping path must
+        # land on the same digest, cycle, and tick totals as the plain
+        # compiled loop.
+        ref = build()
+        ref.sim.compile()
+        ref.run(20_000)
+
+        batch_noc = build()
+        batch = BatchSimulator(batch_noc, 1)
+        batch.begin_lane(0)
+        batch.run_exact(20_000)
+
+        assert batch_noc.stats_digest() == ref.stats_digest()
+        assert batch_noc.sim.cycle == ref.sim.cycle
+        assert batch_noc.sim.ticks_executed == ref.sim.ticks_executed
+        assert batch_noc.sim.ticks_skipped == ref.sim.ticks_skipped
+        # ...and the span was actually skipped, not just re-run.
+        assert batch_noc.sim.ticks_skipped > 0
+
+    def test_lane_windows_reschedule_faults_per_lane(self):
+        def lane_windows(k):
+            return (FaultWindow(CORNER, start=100 + 50 * k, duration=200,
+                                error_rate=0.2),)
+
+        noc = build()
+        batch = BatchSimulator(noc, 2, lane_windows=lane_windows)
+        result = batch.run_lanes(
+            3000,
+            lambda n, k: {"errors": float(n.total_errors_injected())},
+            digest=True,
+        )
+        # Lane 1 == scalar rebuild with lane-1 seeds AND lane-1 windows.
+        scalar = build(lane=1, windows=lane_windows(1))
+        scalar.sim.compile()
+        scalar.run(3000)
+        assert result.digests[1] == scalar.stats_digest()
+
+    def test_lane_windows_on_unprobed_links_fail_fast(self):
+        noc = build(windows=())
+        FaultInjector(noc, (WINDOW,))  # probes only the corner links
+        batch = BatchSimulator(
+            noc, 2,
+            lane_windows=lambda k: (
+                FaultWindow("link.sw_1_1.p*", start=10, duration=5,
+                            error_rate=0.1),
+            ),
+        )
+        with pytest.raises(SimulationError):
+            batch.begin_lane(0)
+
+    def test_run_lanes_reduces_to_soa_arrays(self):
+        result = run_batch(
+            lambda: build(),
+            3, 2000,
+            lambda noc, k: {"completed": float(noc.total_completed())},
+            digest=True,
+        )
+        assert isinstance(result, BatchResult)
+        assert result.replicas == 3
+        assert result.seeds.dtype == np.int64
+        assert list(result.seeds) == [0, SEED_STRIDE, 2 * SEED_STRIDE]
+        assert result.metrics["completed"].shape == (3,)
+        assert result.metrics["completed"].dtype == np.float64
+        assert set(result.reduced["completed"]) == {"mean", "ci95", "n"}
+        assert len(result.digests) == 3
+
+    def test_interpreted_kernel_network_is_recompiled(self):
+        noc = build(kernel="interpreted")
+        batch = BatchSimulator(noc, 1)
+        assert noc.sim.kernel == "compiled"
+        assert batch.program is not None
+
+
+class TestBatchCheckpoint:
+    def test_snapshot_v2_roundtrip_carries_batch_state(self, tmp_path):
+        noc = build()
+        batch = BatchSimulator(noc, 4)
+        batch.begin_lane(2)
+        batch.run_exact(500)
+        snap = noc.sim.snapshot()
+        snap.batch = batch.batch_state()
+        path = str(tmp_path / "batch.ckpt")
+        snap.save(path)
+
+        loaded = SimSnapshot.load(path)
+        assert loaded.version == 2
+        assert loaded.batch == {
+            "replicas": 4, "lane": 2, "seed_stride": SEED_STRIDE,
+        }
+
+    def test_scalar_snapshots_have_no_batch(self, tmp_path):
+        noc = build()
+        noc.run(200)
+        snap = noc.sim.snapshot()
+        assert snap.batch is None
+        path = str(tmp_path / "scalar.ckpt")
+        snap.save(path)
+        assert SimSnapshot.load(path).batch is None
+
+    def test_resume_lane_validates_geometry(self):
+        batch = BatchSimulator(build(), 4)
+        with pytest.raises(SimulationError):
+            batch.resume_lane({"replicas": 8, "lane": 1,
+                               "seed_stride": SEED_STRIDE})
+        with pytest.raises(SimulationError):
+            batch.resume_lane({"replicas": 4, "lane": 1, "seed_stride": 7})
+        assert batch.resume_lane(
+            {"replicas": 4, "lane": 3, "seed_stride": SEED_STRIDE}
+        ) == 3
+        assert batch.lane == 3
+
+    def test_restored_lane_continues_bit_identically(self):
+        # Snapshot lane 1 mid-run, restore into a *fresh* build (the
+        # crash-recovery path: assume_lane subtracts the lane offset the
+        # restored pattern seeds carry), finish, compare to an
+        # uninterrupted lane 1.
+        ref_batch = BatchSimulator(build(), 3)
+        ref_batch.begin_lane(1)
+        ref_batch.run_exact(4000)
+        ref = ref_batch.noc.stats_digest()
+
+        donor = BatchSimulator(build(), 3)
+        donor.begin_lane(1)
+        donor.run_exact(1500)
+        snap = donor.noc.sim.snapshot()
+        snap.batch = donor.batch_state()
+
+        fresh = build()
+        fresh.sim.restore(snap)
+        resumed = BatchSimulator(
+            fresh, snap.batch["replicas"],
+            seed_stride=snap.batch["seed_stride"],
+            assume_lane=snap.batch["lane"],
+        )
+        resumed.lane = snap.batch["lane"]
+        resumed.run_exact(4000 - 1500)
+        assert fresh.stats_digest() == ref
+
+
+def campaign_spec(**kw):
+    builder = TopologyNocBuilder(
+        mesh, (2, 2), n_initiators=2, n_targets=2,
+        config=NocBuildConfig(
+            ni_txn_timeout=300, ni_txn_retries=1, link_resync_timeout=40,
+        ),
+    )
+    defaults = dict(
+        builder=builder,
+        windows=(FaultWindow("link.*", start=150, duration=500,
+                             error_rate=0.05),),
+        rate=0.08,
+        warmup_cycles=150,
+        measure_cycles=1200,
+        seed=3,
+        label="batch-test",
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+class TestReplicatedCampaign:
+    def test_one_replica_equals_the_scalar_campaign(self):
+        spec = campaign_spec()
+        scalar = run_campaign(spec)
+        replicated = run_campaign_replicated(spec, 1)
+        assert replicated.replicas == 1
+        # Field-for-field on everything the scalar campaign measures.
+        for name in ("label", "offered_rate", "cycles_run", "issued",
+                     "completed", "failed", "retried", "accepted_rate",
+                     "mean_latency", "p95_latency", "errors_injected",
+                     "flits_dropped", "retransmissions", "windows_opened",
+                     "no_progress"):
+            assert getattr(replicated, name) == getattr(scalar, name), name
+
+    def test_replicas_carry_cis_and_lane_zero_is_the_scalar_run(self):
+        spec = campaign_spec()
+        scalar = run_campaign(spec)
+        replicated = run_campaign_replicated(spec, 3)
+        assert replicated.replicas == 3
+        assert set(replicated.ci95) == {
+            "accepted_rate", "mean_latency", "p95_latency",
+        }
+        lanes = replicated.lane_metrics
+        assert all(len(v) == 3 for v in lanes.values())
+        assert lanes["accepted_rate"][0] == pytest.approx(scalar.accepted_rate)
+        assert lanes["completed"][0] == scalar.completed
+        mean, half = mean_ci95(lanes["accepted_rate"])
+        assert replicated.accepted_rate == pytest.approx(mean)
+        assert replicated.ci95["accepted_rate"] == pytest.approx(half)
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path,
+                                                   monkeypatch):
+        spec = campaign_spec()
+        reference = run_campaign_replicated(spec, 3)
+
+        # Crash the campaign right after its second checkpoint lands.
+        saves = {"n": 0}
+        real_save = SimSnapshot.save
+
+        def dying_save(self, path):
+            real_save(self, path)
+            saves["n"] += 1
+            if saves["n"] >= 2:
+                raise KeyboardInterrupt("simulated SIGKILL")
+
+        monkeypatch.setattr(SimSnapshot, "save", dying_save)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign_replicated(
+                spec, 3, checkpoint_every=300, checkpoint_dir=str(tmp_path),
+            )
+        monkeypatch.setattr(SimSnapshot, "save", real_save)
+        ckpts = list(tmp_path.glob("campaign-*.ckpt"))
+        assert len(ckpts) == 1 and ckpts[0].name.endswith("-r3.ckpt")
+
+        resumed = run_campaign_replicated(
+            spec, 3, checkpoint_every=300, checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert resumed.lane_metrics == reference.lane_metrics
+        assert resumed.ci95 == reference.ci95
+        assert resumed == reference
+        # A finished campaign cleans up after itself.
+        assert not list(tmp_path.glob("campaign-*.ckpt"))
+
+    def test_incompatible_checkpoint_falls_back_to_fresh(self, tmp_path):
+        spec = campaign_spec()
+        reference = run_campaign_replicated(spec, 2)
+        # A checkpoint from a *different* geometry at the path the
+        # 2-replica campaign will probe: must be ignored, not trusted.
+        donor_noc = spec.builder()
+        donor_noc.run(100)
+        snap = donor_noc.sim.snapshot()
+        snap.batch = {"replicas": 5, "lane": 3, "seed_stride": 7,
+                      "lane_results": []}
+        from repro.faults.campaign import campaign_checkpoint_path
+        base = campaign_checkpoint_path(spec, str(tmp_path))
+        stale = base[: -len(".ckpt")] + "-r2.ckpt"
+        snap.save(stale)
+        resumed = run_campaign_replicated(
+            spec, 2, checkpoint_every=300, checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert resumed == reference
+        assert resumed.lane_metrics == reference.lane_metrics
+
+    def test_cache_token_distinguishes_replication(self):
+        wrapped = ReplicatedCampaign(3)
+        assert "replicas=3" in wrapped.cache_token()
+        assert ReplicatedCampaign(3).cache_token() != ReplicatedCampaign(
+            4
+        ).cache_token()
+
+    def test_replicas_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLICAS", raising=False)
+        assert replicas_from_env() is None
+        assert replicas_from_env(default=8) == 8
+        monkeypatch.setenv("REPRO_REPLICAS", "4")
+        assert replicas_from_env(default=8) == 4
+        monkeypatch.setenv("REPRO_REPLICAS", "0")
+        with pytest.raises(ValueError):
+            replicas_from_env()
+        monkeypatch.setenv("REPRO_REPLICAS", "many")
+        with pytest.raises(ValueError):
+            replicas_from_env()
+
+
+class TestReplicatedSweeps:
+    def test_load_sweep_replicas_reduce_with_cis(self):
+        pts = load_sweep(
+            TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2),
+            rates=(0.02,), seed=3, warmup_cycles=150, measure_cycles=800,
+            replicas=3,
+        )
+        (p,) = pts
+        assert p.replicas == 3
+        assert set(p.ci95) == {"accepted_rate", "mean_latency", "p95_latency"}
+        assert p.ci95["accepted_rate"] >= 0.0
+
+    def test_load_sweep_single_replica_stays_raw(self):
+        pts = load_sweep(
+            TopologyNocBuilder(mesh, (2, 2), n_initiators=2, n_targets=2),
+            rates=(0.02,), seed=3, warmup_cycles=150, measure_cycles=800,
+        )
+        assert pts[0].replicas == 1 and pts[0].ci95 is None
+
+    def test_map_replicated_groups_lanes_by_point(self):
+        runner = ExperimentRunner(jobs=1)
+        groups = runner.map_replicated(
+            _lane_value, [10, 20], 3, fan=lambda p, k: (p, k),
+        )
+        assert groups == [[10, 11, 12], [20, 21, 22]]
+        with pytest.raises(ValueError):
+            runner.map_replicated(_lane_value, [10], 0,
+                                  fan=lambda p, k: (p, k))
+
+
+def _lane_value(point_and_lane):
+    point, lane = point_and_lane
+    return point + lane

@@ -86,6 +86,9 @@ class TestPerformanceDoc:
             'kernel="compiled"', "set_kernel", "sim.compile()",
             "CompileError", "compile_fallback", "stride=",
             "kernel-smoke", "BENCH_s1.json",
+            # the kernel decision table + the batched mode it indexes
+            "## Choosing a kernel", "batched", "BatchSimulator",
+            "BATCHING.md",
         ):
             assert term in text, term
 
@@ -122,6 +125,10 @@ class TestObservabilityDoc:
             # heatmaps, probes, CLI, overhead table
             "heatmap_csv", "add_probe", "python -m repro report",
             "report-smoke", "bench_s2_telemetry_overhead",
+            # the three-kernel model and the CI-bearing artifacts
+            "all three kernels", "compile_fallback",
+            "ci95", "replicas", "BENCH_s3.json", "BENCH_a8.json",
+            "--replicas", "BATCHING.md",
         ):
             assert term in text, term
 
@@ -204,6 +211,8 @@ class TestCheckpointDoc:
             "REPRO_CHECKPOINT_EVERY", "checkpoint-smoke", "timeout_guard",
             # kernel-agnostic restores
             "kernel-agnostic", "snap.kernel", "restore_kernel",
+            # the v2 batch container and its kill-and-resume smoke
+            "snap.batch", "assume_lane", "batch-smoke", "BATCHING.md",
         ):
             assert term in text, term
 
@@ -212,6 +221,51 @@ class TestCheckpointDoc:
         assert len(blocks) >= 3, "the guide promises runnable snippets"
         for i, block in enumerate(blocks):
             exec(compile(block, f"CHECKPOINT-snippet-{i}", "exec"), {})
+
+
+class TestBatchingDoc:
+    PATH = os.path.join(ROOT, "docs", "BATCHING.md")
+
+    def test_exists_and_is_cross_linked(self):
+        assert os.path.exists(self.PATH)
+        for doc in (
+            "README.md",
+            os.path.join("docs", "ARCHITECTURE.md"),
+            os.path.join("docs", "PERFORMANCE.md"),
+            os.path.join("docs", "OBSERVABILITY.md"),
+            os.path.join("docs", "RESILIENCE.md"),
+            os.path.join("docs", "CHECKPOINT.md"),
+        ):
+            with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+                assert "BATCHING.md" in f.read(), f"{doc} must link the guide"
+
+    def test_covers_the_contract(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        for term in (
+            # lanes and the bit-identity contract
+            "BatchSimulator", "begin_lane", "run_lanes", "SEED_STRIDE",
+            "seed_stride", "invalidate_program=False", "stats_digest",
+            # idle-span skipping
+            "run_to_event", "catch_up", "compile_fallback",
+            # per-lane fault schedules
+            "lane_windows", "set_windows", "probe_links",
+            # CI math
+            "mean_ci95", "t_quantile_95", "Student-t", "summarize",
+            # harness integration + CLI
+            "run_campaign_replicated", "replicas=", "lane_metrics",
+            "map_replicated", "--replicas", "REPRO_REPLICAS",
+            # checkpoints + CI artifacts
+            "snap.batch", "SNAPSHOT_VERSION", "assume_lane",
+            "batch-smoke", "BENCH_s4.json",
+        ):
+            assert term in text, term
+
+    def test_every_python_block_runs(self):
+        blocks = extract_python_blocks(self.PATH)
+        assert len(blocks) >= 3, "the guide promises runnable snippets"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"BATCHING-snippet-{i}", "exec"), {})
 
 
 class TestExperimentsDoc:
