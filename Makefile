@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke bench-diff
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,8 +16,10 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
+	PYTHONPATH=src $(PYTHON) -m repro bench-diff --update \
+		--note "make bench-smoke"
 
 # Telemetry pulse-check: run the report CLI on a tiny 2x2 mesh and
 # re-validate every artifact (metrics schema, trace-event JSON with
@@ -48,6 +50,19 @@ kernel-smoke:
 # Batched Monte-Carlo pulse-check: a small replica batch whose every
 # lane digest must equal a scalar rebuild, then a replicated campaign
 # SIGKILLed at its first batch checkpoint and resumed to the exact
-# per-lane metrics of an uninterrupted run.  See docs/BATCHING.md.
+# per-lane metrics of an uninterrupted run, with its streamed
+# events.jsonl validated and replayed.  See docs/BATCHING.md.
 batch-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/batch_smoke.py
+
+# Fleet-telemetry pulse-check: a tiny cached sweep through the
+# experiment runner, then the `repro top` dashboard, the event-stream
+# replay and the Prometheus exposition must all agree on it.  See
+# docs/OBSERVABILITY.md.
+top-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/top_smoke.py
+
+# Perf-regression gate: diff the tracked BENCH ratios against the
+# committed BENCH_TRAJECTORY.json (exit 1 past a 20% relative drop).
+bench-diff:
+	PYTHONPATH=src $(PYTHON) -m repro bench-diff

@@ -12,6 +12,15 @@ Two guarantees, end to end:
   the lane container) hits disk; the resumed run must reproduce the
   uninterrupted run's per-lane metrics exactly and clean up its
   checkpoint.
+* **Event-stream integrity.**  The victim streams ``events.jsonl``
+  (schema ``repro.telemetry.events/v1``, docs/OBSERVABILITY.md) while
+  it runs and the resumed run appends to the same file.  After the
+  kill-and-resume the stream must still validate (torn tail lines are
+  tolerated, duplicate post-resume batches deduplicate last-wins), its
+  replay must agree with the final :class:`CampaignResult` lane for
+  lane, its per-lane digests must match the reference run's, and the
+  Chrome-trace export plus the ``repro top`` dashboard summary built
+  from it must both render.
 
 Wired into ``make bench-smoke`` as ``make batch-smoke``.  Exits
 non-zero (with the mismatch printed) on any divergence.
@@ -38,6 +47,8 @@ from repro.network.noc import NocBuildConfig
 from repro.network.topology import mesh
 from repro.network.traffic import UniformRandomTraffic
 from repro.sim.batch import SEED_STRIDE, BatchSimulator
+from repro.telemetry import events as _events
+from repro.telemetry.top import load_summary, render_dashboard
 
 REPLICAS = 6
 CHECKPOINT_EVERY = 150
@@ -129,11 +140,61 @@ def run_replicated(checkpoint_dir, resume):
     )
 
 
+def check_event_stream(events_path, reference_digests, resumed) -> bool:
+    """The post-resume ``events.jsonl`` must validate, replay to the
+    final campaign result, and feed the export/dashboard paths."""
+    records = _events.read_events(events_path)
+    try:
+        _events.validate_events(records)
+    except Exception as exc:  # TelemetryError carries the itemized list
+        print(f"batch-smoke: FAIL -- events.jsonl does not validate: {exc}")
+        return False
+    summary = _events.replay_summary(records)
+    ok = True
+    if len(summary["lanes"]) != REPLICAS:
+        print(
+            f"batch-smoke: FAIL -- replay saw {len(summary['lanes'])} "
+            f"lanes, campaign ran {REPLICAS}"
+        )
+        ok = False
+    for name, want in resumed.lane_metrics.items():
+        got = summary["lane_metrics"].get(name)
+        if tuple(got or ()) != tuple(want):
+            print(f"batch-smoke: FAIL -- replayed {name}: {got} != {want}")
+            ok = False
+    if summary["digests"] != list(reference_digests):
+        print("batch-smoke: FAIL -- replayed lane digests != reference run")
+        ok = False
+    trace = _events.events_to_chrome_trace(records)
+    if not any(e.get("ph") == "i" for e in trace):
+        print("batch-smoke: FAIL -- Chrome-trace export produced no instants")
+        ok = False
+    frame = render_dashboard(
+        load_summary(os.path.dirname(events_path)),
+        os.path.dirname(events_path),
+    )
+    if f"lanes: {REPLICAS} finished" not in frame:
+        print("batch-smoke: FAIL -- dashboard frame missing the lane line:")
+        print(frame)
+        ok = False
+    if ok:
+        print(
+            f"batch-smoke: events.jsonl validated ({len(records)} records, "
+            f"{summary['checkpoints']} checkpoints incl. pre-kill "
+            f"duplicates) and replayed to the campaign result"
+        )
+    return ok
+
+
 def main():
     if "--child" in sys.argv:
         # The victim: same replicated campaign, checkpointing to the
-        # dir the parent gave us.  The parent SIGKILLs us mid-batch.
-        run_replicated(sys.argv[2], resume=False)
+        # dir the parent gave us while streaming events.jsonl next to
+        # it.  The parent SIGKILLs us mid-batch, so the stream's last
+        # line may land torn -- the reader must shrug that off.
+        i = sys.argv.index("--child")
+        _events.install_file_sink(sys.argv[i + 2])
+        run_replicated(sys.argv[i + 1], resume=False)
         return 0
 
     if not check_lane_digests():
@@ -144,11 +205,20 @@ def main():
         os.makedirs(ckpt)
 
         print("batch-smoke: reference replicated campaign (uninterrupted) ...")
-        reference = run_campaign_replicated(campaign_spec(), REPLICAS)
+        ref_col = _events.install_sink(_events.EventCollector())
+        try:
+            reference = run_campaign_replicated(campaign_spec(), REPLICAS)
+        finally:
+            _events.remove_sink(ref_col)
+        reference_digests = _events.replay_summary(ref_col.records)["digests"]
 
+        events_path = os.path.join(scratch, "events.jsonl")
         print("batch-smoke: starting victim, will SIGKILL mid-batch ...")
         child = subprocess.Popen(
-            [sys.executable, os.path.abspath(__file__), "--child", ckpt],
+            [
+                sys.executable, os.path.abspath(__file__),
+                "--child", ckpt, events_path,
+            ],
             env=dict(os.environ),
         )
         deadline = time.monotonic() + KILL_DEADLINE
@@ -172,7 +242,12 @@ def main():
             child.wait()
 
         print("batch-smoke: victim killed; resuming from its checkpoint ...")
-        resumed = run_replicated(ckpt, resume=True)
+        writer = _events.install_sink(_events.EventWriter(events_path))
+        try:
+            resumed = run_replicated(ckpt, resume=True)
+        finally:
+            _events.remove_sink(writer)
+            writer.close()
 
         if resumed.lane_metrics != reference.lane_metrics:
             print("batch-smoke: FAIL -- resumed lanes diverge from reference")
@@ -186,6 +261,8 @@ def main():
             return 1
         if glob.glob(os.path.join(ckpt, "campaign-*.ckpt")):
             print("batch-smoke: FAIL -- finished batch left its checkpoint behind")
+            return 1
+        if not check_event_stream(events_path, reference_digests, resumed):
             return 1
 
         print(

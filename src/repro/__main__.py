@@ -9,6 +9,8 @@ Usage::
     python -m repro report --out DIR  # run a scenario with telemetry
     python -m repro faults            # fault-injection campaign demo
     python -m repro faults --smoke    # deterministic resilience smoke
+    python -m repro top --dir DIR     # live dashboard over a run's events
+    python -m repro bench-diff        # diff BENCH results vs trajectory
 
 ``figures`` accepts ``--jobs N`` (run sweep points on N worker
 processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
@@ -37,6 +39,17 @@ the progress watchdog must catch; exits non-zero if either expectation
 fails (wired into ``make faults-smoke`` / ``make bench-smoke``).
 ``--jobs``/``--cache``/``--checkpoint-every``/``--checkpoint-dir``/
 ``--resume`` apply like they do for ``figures``.
+
+``top`` tails the run directory's ``events.jsonl`` stream (fallback:
+the ``runs.jsonl`` journal) and repaints a per-point dashboard every
+``--interval`` seconds until the run finishes; ``--once`` renders a
+single frame and exits, ``--prom FILE`` also writes a Prometheus text
+exposition.  ``bench-diff`` extracts the tracked perf ratios from
+``--results`` (default ``benchmarks/results``) and compares them to
+the committed ``BENCH_TRAJECTORY.json``; it exits 1 when any tracked
+metric dropped more than ``--threshold`` (default 20%%), and
+``--update`` appends the current values as a new trajectory entry.
+Both are documented in docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -324,6 +337,31 @@ def _faults(
     return 0
 
 
+def _top(
+    run_dir: str,
+    once: bool = False,
+    interval: float = 1.0,
+    prom: "str | None" = None,
+) -> int:
+    from repro.telemetry.top import top_main
+
+    return top_main(run_dir, once=once, interval=interval, prom=prom)
+
+
+def _bench_diff(
+    results: str,
+    trajectory: str,
+    threshold: float,
+    update: bool = False,
+    note: str = "",
+) -> int:
+    from repro.telemetry.regress import bench_diff
+
+    return bench_diff(
+        results, trajectory, threshold=threshold, update=update, note=note
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,7 +370,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["info", "demo", "mesh-case-study", "figures", "report", "faults"],
+        choices=[
+            "info",
+            "demo",
+            "mesh-case-study",
+            "figures",
+            "report",
+            "faults",
+            "top",
+            "bench-diff",
+        ],
         nargs="?",
         default="info",
     )
@@ -430,6 +477,67 @@ def main(argv=None) -> int:
         "(one recovering campaign + one watchdog catch), exit non-zero "
         "if either expectation fails",
     )
+    parser.add_argument(
+        "--dir",
+        dest="run_dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="top: run directory holding events.jsonl / runs.jsonl "
+        "(default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="top: render a single frame and exit instead of looping",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="top: seconds between dashboard repaints (default: 1.0)",
+    )
+    parser.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE",
+        help="top: also write a Prometheus text exposition of the "
+        "summary to FILE each frame",
+    )
+    parser.add_argument(
+        "--results",
+        default="benchmarks/results",
+        metavar="DIR",
+        help="bench-diff: directory of BENCH_*.json artifacts "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        default="BENCH_TRAJECTORY.json",
+        metavar="FILE",
+        help="bench-diff: the committed trajectory file to diff against "
+        "(default: BENCH_TRAJECTORY.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        metavar="T",
+        help="bench-diff: relative drop that fails the diff "
+        "(default: 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="bench-diff: append the current values as a new trajectory "
+        "entry when the diff passes",
+    )
+    parser.add_argument(
+        "--note",
+        default="",
+        metavar="TEXT",
+        help="bench-diff: annotation stored with an --update entry",
+    )
     args = parser.parse_args(argv)
     if args.command == "figures":
         return _figures(
@@ -449,6 +557,21 @@ def main(argv=None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             replicas=args.replicas,
+        )
+    if args.command == "top":
+        return _top(
+            args.run_dir,
+            once=args.once,
+            interval=args.interval,
+            prom=args.prom,
+        )
+    if args.command == "bench-diff":
+        return _bench_diff(
+            results=args.results,
+            trajectory=args.trajectory,
+            threshold=args.threshold,
+            update=args.update,
+            note=args.note,
         )
     if args.command == "report":
         return _report(

@@ -29,6 +29,7 @@ from repro.network.experiments import TopologyNocBuilder
 from repro.network.traffic import UniformRandomTraffic
 from repro.sim.batch import SEED_STRIDE, BatchSimulator, mean_ci95
 from repro.sim.snapshot import SimSnapshot, SnapshotError
+from repro.telemetry import events as _events
 
 
 @dataclass(frozen=True)
@@ -209,6 +210,7 @@ def run_campaign(
                     }
                 )
                 snap.save(ckpt_path)
+                _events.emit("checkpoint", cycle=boundary, lane=None)
     except NoProgressError as exc:
         no_progress = True
         no_progress_cycle = exc.cycle
@@ -402,6 +404,7 @@ def run_campaign_replicated(
                         "lane_results": [dict(r) for r in rows],
                     }
                     snap.save(ckpt_path)
+                    _events.emit("checkpoint", cycle=boundary, lane=k)
         except NoProgressError as exc:
             no_progress = True
             no_progress_cycle = exc.cycle
@@ -434,6 +437,15 @@ def run_campaign_replicated(
                 "diagnosis": diagnosis,
             }
         )
+        if _events.current_sink() is not None:
+            # The digest is only hashed when somebody is listening: the
+            # replay check (batch-smoke) compares per-lane digests of a
+            # killed-and-resumed campaign against an uninterrupted one.
+            _events.emit(
+                "lane_batch", lane=k, replicas=replicas,
+                metrics={name: rows[-1][name] for name in _LANE_METRICS},
+                digest=noc.stats_digest(),
+            )
 
     any_trip = any(r["no_progress"] for r in rows)
     if ckpt_path is not None and not any_trip:

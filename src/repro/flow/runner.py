@@ -115,27 +115,36 @@ def stable_repr(obj: Any) -> str:
 def _pipe_worker(conn, fn: Callable[[Any], Any], point: Any) -> None:
     """Worker-process entry: run one point, report through the pipe.
 
-    Sends ``("ok", seconds, result)`` on success.  On any exception
-    sends ``("error", seconds, exc, summary, traceback_text)``, falling
-    back to ``exc=None`` when the exception itself does not pickle.  If
-    the process dies before sending anything (segfault, SIGKILL) the
-    parent sees EOF and classifies the point as a crash.
+    Sends ``("ok", seconds, result, events)`` on success.  On any
+    exception sends ``("error", seconds, exc, summary, traceback_text,
+    events)``, falling back to ``exc=None`` when the exception itself
+    does not pickle.  ``events`` is the list of structured telemetry
+    records (``repro.telemetry.events``) the point emitted -- campaign
+    checkpoints, lane batches -- which the parent merges into its own
+    ``events.jsonl``.  If the process dies before sending anything
+    (segfault, SIGKILL) the parent sees EOF and classifies the point as
+    a crash.
     """
+    from repro.telemetry import events as _events
+
+    # Shadow any sink inherited across fork (the parent's open
+    # events.jsonl writer): this worker's records travel over the pipe.
+    collector = _events.install_sink(_events.EventCollector())
     t0 = time.perf_counter()
     try:
         result = fn(point)
-        conn.send(("ok", time.perf_counter() - t0, result))
+        conn.send(("ok", time.perf_counter() - t0, result, collector.records))
     except BaseException as exc:  # noqa: BLE001 -- report, parent decides
         seconds = time.perf_counter() - t0
         summary = f"{type(exc).__name__}: {exc}"
         tb = traceback.format_exc()
         try:
-            conn.send(("error", seconds, exc, summary, tb))
+            conn.send(("error", seconds, exc, summary, tb, collector.records))
         except Exception:
             # The exception (or its payload) does not pickle; downgrade
             # to text so the parent still learns what happened.
             try:
-                conn.send(("error", seconds, None, summary, tb))
+                conn.send(("error", seconds, None, summary, tb, collector.records))
             except Exception:
                 pass
     finally:
@@ -278,6 +287,15 @@ class ExperimentRunner:
         when set, ``runner.retries`` / ``runner.timeouts`` /
         ``runner.crashes`` / ``runner.failures`` /
         ``runner.corrupt_cache_entries`` counters are kept there too.
+    events_path:
+        Structured event stream destination
+        (``repro.telemetry.events``, schema
+        ``repro.telemetry.events/v1``).  Defaults to
+        ``<cache_dir>/events.jsonl`` whenever a cache directory is
+        configured; set explicitly to stream without a cache, or to
+        ``""`` to disable streaming entirely.  Workers ship their
+        events back over the result pipe; the parent merges everything
+        into one append-only file that ``python -m repro top`` tails.
     """
 
     jobs: int = 1
@@ -289,6 +307,7 @@ class ExperimentRunner:
     on_failure: str = "raise"
     resume: bool = False
     metrics: Optional[Any] = None
+    events_path: Optional[str] = None
     reports: List[PointReport] = field(default_factory=list)
     failures: List[PointFailure] = field(default_factory=list)
     cache_hits: int = 0
@@ -521,11 +540,14 @@ class ExperimentRunner:
         if eff_retries < 0:
             raise ValueError(f"retries must be >= 0, got {eff_retries}")
 
+        from repro.telemetry import events as _events
+
         keys = [self._key(fn, p) for p in points]
         results: List[Any] = [None] * len(points)
         manifests: List[Optional[RunManifest]] = [None] * len(points)
         journal = self.journal_entries() if eff_resume else {}
         pending: List[int] = []
+        hits: List[int] = []
         for i, key in enumerate(keys):
             hit, value = self._cache_load(key)
             if hit:
@@ -537,11 +559,20 @@ class ExperimentRunner:
                 self.reports.append(
                     PointReport(f"{label}[{i}]", key, 0.0, cached=True)
                 )
+                hits.append(i)
             else:
                 self.cache_misses += 1
                 pending.append(i)
 
+        writer = None
+        path = self.events_path
+        if path is None and self.cache_dir is not None:
+            path = os.path.join(self.cache_dir, "events.jsonl")
+        if path:
+            writer = _events.install_sink(_events.EventWriter(path))
+
         first_exc: Optional[BaseException] = None
+        tally = {"ok": 0, "failed": 0, "retries": 0}
 
         def finish_ok(i: int, attempts: int, seconds: float, result: Any) -> None:
             results[i] = result
@@ -558,6 +589,11 @@ class ExperimentRunner:
                     "seconds": round(seconds, 6),
                     "attempts": attempts,
                 }
+            )
+            tally["ok"] += 1
+            _events.emit(
+                "point_end", label=f"{label}[{i}]", key=keys[i], status="ok",
+                seconds=round(seconds, 6), attempts=attempts, cached=False,
             )
 
         def finish_failed(
@@ -584,39 +620,75 @@ class ExperimentRunner:
             self.failures.append(failure)
             self._count("failures", "failure_count")
             self._journal_append(failure.as_record())
+            tally["failed"] += 1
+            _events.emit(
+                "point_end", label=failure.label, key=keys[i], status="failed",
+                seconds=round(seconds, 6), attempts=attempts, cached=False,
+                kind=kind, message=message,
+            )
             if eff_on_failure == "raise" and first_exc is None:
                 first_exc = exc if exc is not None else RuntimeError(
                     f"{failure.label} {kind} after {attempts} attempt(s): {message}"
                 )
 
-        if pending and self.jobs > 1:
-            self._run_pool(
-                fn, points, keys, pending, label,
-                eff_timeout, eff_retries, finish_ok, finish_failed,
+        try:
+            _events.emit(
+                "run_start", label=label, points=len(points),
+                pending=len(pending), cached=len(hits), jobs=self.jobs,
             )
-        else:
-            for i in pending:
-                attempts = 0
-                while True:
-                    attempts += 1
-                    t0 = time.perf_counter()
-                    try:
-                        result = fn(points[i])
-                    except Exception as exc:
-                        seconds = time.perf_counter() - t0
-                        if attempts <= eff_retries:
-                            self._count("retries", "retry_count")
-                            time.sleep(self.backoff * (2 ** (attempts - 1)))
-                            continue
-                        finish_failed(
-                            i, attempts, seconds, "error",
-                            f"{type(exc).__name__}: {exc}", exc,
-                            traceback.format_exc(),
+            for i in hits:
+                _events.emit(
+                    "point_end", label=f"{label}[{i}]", key=keys[i],
+                    status="ok", seconds=0.0, attempts=0, cached=True,
+                )
+
+            if pending and self.jobs > 1:
+                self._run_pool(
+                    fn, points, keys, pending, label,
+                    eff_timeout, eff_retries, finish_ok, finish_failed, tally,
+                )
+            else:
+                for i in pending:
+                    attempts = 0
+                    while True:
+                        attempts += 1
+                        _events.emit(
+                            "point_start", label=f"{label}[{i}]",
+                            key=keys[i], attempt=attempts,
                         )
+                        t0 = time.perf_counter()
+                        try:
+                            result = fn(points[i])
+                        except Exception as exc:
+                            seconds = time.perf_counter() - t0
+                            if attempts <= eff_retries:
+                                self._count("retries", "retry_count")
+                                tally["retries"] += 1
+                                _events.emit(
+                                    "retry", label=f"{label}[{i}]", key=keys[i],
+                                    attempt=attempts, kind="error",
+                                    message=f"{type(exc).__name__}: {exc}",
+                                )
+                                time.sleep(self.backoff * (2 ** (attempts - 1)))
+                                continue
+                            finish_failed(
+                                i, attempts, seconds, "error",
+                                f"{type(exc).__name__}: {exc}", exc,
+                                traceback.format_exc(),
+                            )
+                            break
+                        seconds = time.perf_counter() - t0
+                        finish_ok(i, attempts, seconds, result)
                         break
-                    seconds = time.perf_counter() - t0
-                    finish_ok(i, attempts, seconds, result)
-                    break
+
+            _events.emit(
+                "run_end", label=label, ok=tally["ok"], failed=tally["failed"],
+                cached=len(hits), retries=tally["retries"],
+            )
+        finally:
+            if writer is not None:
+                _events.remove_sink(writer)
+                writer.close()
 
         self.last_manifests = [m for m in manifests if m is not None]
         if first_exc is not None:
@@ -662,6 +734,7 @@ class ExperimentRunner:
         eff_retries: int,
         finish_ok: Callable,
         finish_failed: Callable,
+        tally: Optional[Dict[str, int]] = None,
     ) -> None:
         """One process per point with timeout/crash isolation.
 
@@ -671,6 +744,8 @@ class ExperimentRunner:
         sweep.  Here each point owns a process and a pipe; a death or
         deadline affects only that point.
         """
+        from repro.telemetry import events as _events
+
         ctx = multiprocessing.get_context()
         ready_queue = deque((i, 1) for i in pending)  # (index, attempt_no)
         delayed: List["tuple[float, int, int]"] = []  # (not_before, index, attempt)
@@ -684,6 +759,12 @@ class ExperimentRunner:
                 self._count("crashes", "crash_count")
             if attempt <= eff_retries:
                 self._count("retries", "retry_count")
+                if tally is not None:
+                    tally["retries"] += 1
+                _events.emit(
+                    "retry", label=f"{label}[{i}]", key=keys[i],
+                    attempt=attempt, kind=kind, message=message,
+                )
                 not_before = time.monotonic() + self.backoff * (2 ** (attempt - 1))
                 delayed.append((not_before, i, attempt + 1))
             else:
@@ -707,6 +788,10 @@ class ExperimentRunner:
                     proc.start()
                     child_conn.close()
                     running[parent_conn] = (i, attempt, proc, time.monotonic())
+                    _events.emit(
+                        "point_start", label=f"{label}[{i}]", key=keys[i],
+                        attempt=attempt,
+                    )
                 if not running:
                     if delayed:
                         time.sleep(max(0.0, min(d[0] for d in delayed) - time.monotonic()))
@@ -739,10 +824,12 @@ class ExperimentRunner:
                             None, "",
                         )
                     elif msg[0] == "ok":
-                        _, fn_seconds, result = msg
+                        _, fn_seconds, result, wevents = msg
+                        _events.forward(wevents)
                         finish_ok(i, attempt, fn_seconds, result)
                     else:
-                        _, fn_seconds, exc, summary, tb = msg
+                        _, fn_seconds, exc, summary, tb, wevents = msg
+                        _events.forward(wevents)
                         handle_failure(i, attempt, fn_seconds, "error", summary, exc, tb)
 
                 if eff_timeout is None:

@@ -47,6 +47,7 @@ See ``docs/BATCHING.md`` for the full contract and
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -328,9 +329,15 @@ class BatchSimulator:
         """
         rows: List[Dict[str, float]] = []
         digests: List[str] = [] if digest else None
+        profiler = getattr(self.noc.sim, "profiler", None)
         for k in range(start_lane, self.replicas):
             self.begin_lane(k)
+            t0 = time.perf_counter() if profiler is not None else 0.0
             self.run_exact(cycles)
+            if profiler is not None:
+                # Attribute this replica lane's wall time so a batched
+                # profile separates lane cost from per-component cost.
+                profiler.record_replica(k, cycles, time.perf_counter() - t0)
             rows.append(collect(self.noc, k))
             if digest:
                 digests.append(self.noc.stats_digest())

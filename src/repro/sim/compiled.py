@@ -162,6 +162,12 @@ _TL = FlitType.TAIL
 _HT = FlitType.HEAD_TAIL
 _set = object.__setattr__
 
+# Optional profiler hook.  compile_simulator() points this at the
+# attached KernelProfiler's installer before invoking _build; the
+# default None keeps unprofiled kernels entirely wrapper-free (the
+# test is one build-time branch, never per cycle).
+_PROF = None
+
 
 def _drive(w, v):
     # Wire.drive for kernel-owned wires (hot list always attached).
@@ -1281,6 +1287,8 @@ def _generate(sim: Simulator) -> Tuple[str, List[Tuple[str, str]]]:
         "    WL = S._watchers\n"
         f"    NC = {len(sim._components)}\n"
         + ("\n".join(bind) + "\n" if bind else "")
+        + "    if _PROF is not None:\n"
+        "        TH = _PROF(S, TH)\n"
         + always_bind
         + "\n"
         + run_fn
@@ -1317,6 +1325,10 @@ def compile_simulator(sim: Simulator) -> CompiledProgram:
     source, lane_of = _generate(sim)
     g: Dict[str, object] = {}
     exec(compile(source, "<repro.sim.compiled>", "exec"), g)
+    profiler = getattr(sim, "profiler", None)
+    if profiler is not None:
+        lane_map = dict(lane_of)
+        g["_PROF"] = lambda S, TH: profiler._install(S, TH, lane_map)
     run, run_to_event, rearm = g["_build"](sim)
     meta = {
         "n_components": len(sim._components),

@@ -112,6 +112,9 @@ class Simulator:
         #: Why the last compile attempt fell back to the fast path
         #: (``None`` when the compiled program is live or never tried).
         self.compile_fallback: Optional[str] = None
+        #: Optional :class:`repro.telemetry.profile.KernelProfiler`
+        #: wrapped into the next compiled program (see set_profiler).
+        self.profiler = None
         # Instrumentation: how much work the fast path actually skipped.
         self.ticks_executed = 0
         self.ticks_skipped = 0
@@ -285,6 +288,20 @@ class Simulator:
         """Structural mutation: any compiled program is now stale."""
         self._structure_rev += 1
         self._run_cache_key = None
+
+    def set_profiler(self, profiler) -> None:
+        """Attach (or with ``None`` detach) a
+        :class:`repro.telemetry.profile.KernelProfiler`.
+
+        The profiler wraps the compiled program's lane thunks at build
+        time, so attaching invalidates any live program; the next
+        compiled run re-elaborates with counting/sampling wrappers
+        installed.  Detached (the default), the generated code carries
+        no wrappers at all -- the cost is one branch per *compile*,
+        never per cycle.
+        """
+        self.profiler = profiler
+        self._invalidate_program()
 
     def _ensure_program(self, strict: bool = False):
         """The compiled program for the current structure revision, or

@@ -18,8 +18,9 @@ run) :class:`~repro.network.noc.Noc`
 
 After (or during) the run, :meth:`snapshot` returns the schema-stable
 metrics document and :meth:`write` dumps the full artifact set --
-``metrics.json``, ``trace.json`` (Chrome trace-event format, loadable
-in Perfetto), ``heatmap.txt`` and ``heatmap.csv`` -- into a directory.
+``metrics.json``, ``metrics.prom`` (Prometheus text exposition),
+``trace.json`` (Chrome trace-event format, loadable in Perfetto),
+``heatmap.txt`` and ``heatmap.csv`` -- into a directory.
 
 Telemetry is strictly opt-in: a NoC without a ``NocTelemetry`` attached
 pays only dormant ``if self.lifecycle`` flag checks, measured at under
@@ -225,11 +226,13 @@ class NocTelemetry:
         validate_metrics(doc)
         paths = {
             "metrics": out / "metrics.json",
+            "metrics_prom": out / "metrics.prom",
             "trace": out / "trace.json",
             "heatmap_txt": out / "heatmap.txt",
             "heatmap_csv": out / "heatmap.csv",
         }
         paths["metrics"].write_text(json.dumps(doc, indent=2) + "\n")
+        paths["metrics_prom"].write_text(self.registry.to_prometheus())
         with paths["trace"].open("w") as fh:
             write_chrome_trace(
                 fh,

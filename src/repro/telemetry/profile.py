@@ -1,0 +1,239 @@
+"""A sampling profiler for the compiled tick kernel.
+
+The generated program (:mod:`repro.sim.compiled`) dispatches every
+awake component through one lane thunk per cycle.  That makes the
+thunk table the natural profiling seam: :class:`KernelProfiler` wraps
+each thunk with a **counter** (every call) and a **wall-clock sample**
+(every ``sample_every``-th call, extrapolated), attributing time to
+the component and to its codegen lane (``switch`` / ``ni-initiator`` /
+``ni-target`` / ``link`` / ``master`` / ``always`` / ``generic``).
+
+Attach through the simulator::
+
+    prof = KernelProfiler()
+    noc.sim.set_profiler(prof)
+    noc.sim.compile()           # re-elaborates with wrappers installed
+    noc.run(20_000)
+    print(prof.render(top=10))  # top-N table
+    prof.write("profile.json")  # schema repro.telemetry.profile/v1
+
+Design constraints, in order:
+
+* **Disabled must be free.**  With no profiler attached the generated
+  source contains a single build-time ``if _PROF is None`` branch --
+  no wrappers exist, no per-cycle cost (the <=1% acceptance bound is
+  structural, not statistical).
+* **Enabled must be cheap.**  The wrapper is one list-index increment
+  and a modulo; ``perf_counter`` fires only on sampled calls.  Cycle
+  *results* are never perturbed -- wrapping changes when the clock is
+  read, not what the thunk does, so digests stay bit-identical.
+* **Replica attribution.**  :class:`~repro.sim.batch.BatchSimulator`
+  reports per-lane wall time through :meth:`record_replica`, so a
+  batched campaign's profile separates codegen-lane cost from
+  replica-lane cost.
+"""
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import TelemetryError
+
+PROFILE_SCHEMA = "repro.telemetry.profile/v1"
+
+
+class KernelProfiler:
+    """Per-lane counters + sampled timing for compiled kernels.
+
+    One profiler may serve several compiles (e.g. the per-replica
+    recompiles of a batch); counts accumulate until :meth:`clear`.
+    """
+
+    def __init__(self, sample_every: int = 64) -> None:
+        if sample_every < 1:
+            raise TelemetryError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.sample_every = sample_every
+        #: component name -> [calls, sampled_calls, sampled_seconds]
+        self._cells: Dict[str, List[float]] = {}
+        #: component name -> codegen lane, captured at install time
+        self.lane_of: Dict[str, str] = {}
+        #: (replica_lane, cycles, seconds) tuples from BatchSimulator
+        self.replica_batches: List[Tuple[int, int, float]] = []
+        self.installs = 0
+
+    # -- the compiled-kernel hook -----------------------------------------
+    def _install(
+        self, sim: Any, TH: Dict[Any, Any], lane_map: Dict[str, str]
+    ) -> Dict[Any, Any]:
+        """Wrap every thunk in ``TH`` in place (called from the
+        generated ``_build`` via the ``_PROF`` hook)."""
+        self.lane_of.update(lane_map)
+        self.installs += 1
+        pc = time.perf_counter
+        every = self.sample_every
+        for comp, thunk in list(TH.items()):
+            cell = self._cells.setdefault(comp.name, [0, 0, 0.0])
+
+            def wrapped(cyc, nxt, _t=thunk, _c=cell, _pc=pc, _n=every):
+                calls = _c[0] + 1
+                _c[0] = calls
+                if calls % _n:
+                    _t(cyc, nxt)
+                else:
+                    t0 = _pc()
+                    _t(cyc, nxt)
+                    _c[1] += 1
+                    _c[2] += _pc() - t0
+
+            TH[comp] = wrapped
+        return TH
+
+    # -- replica attribution ----------------------------------------------
+    def record_replica(self, lane: int, cycles: int, seconds: float) -> None:
+        """One finished replica lane of a :class:`BatchSimulator` run."""
+        self.replica_batches.append((int(lane), int(cycles), float(seconds)))
+
+    # -- accounting --------------------------------------------------------
+    def clear(self) -> None:
+        self._cells.clear()
+        self.replica_batches.clear()
+
+    @property
+    def total_calls(self) -> int:
+        return int(sum(c[0] for c in self._cells.values()))
+
+    def report(self) -> Dict[str, Any]:
+        """The full ``repro.telemetry.profile/v1`` document."""
+        import repro
+
+        components: List[Dict[str, Any]] = []
+        for name in sorted(self._cells):
+            calls, sampled, seconds = self._cells[name]
+            est = (seconds * calls / sampled) if sampled else 0.0
+            components.append(
+                {
+                    "name": name,
+                    "lane": self.lane_of.get(name, "generic"),
+                    "calls": int(calls),
+                    "sampled": int(sampled),
+                    "sampled_seconds": seconds,
+                    "est_seconds": est,
+                }
+            )
+        components.sort(key=lambda c: (-c["est_seconds"], c["name"]))
+        total_est = sum(c["est_seconds"] for c in components)
+
+        lanes: Dict[str, Dict[str, Any]] = {}
+        for c in components:
+            lane = lanes.setdefault(
+                c["lane"],
+                {"components": 0, "calls": 0, "est_seconds": 0.0, "share": 0.0},
+            )
+            lane["components"] += 1
+            lane["calls"] += c["calls"]
+            lane["est_seconds"] += c["est_seconds"]
+        for lane in lanes.values():
+            lane["share"] = (
+                lane["est_seconds"] / total_est if total_est > 0 else 0.0
+            )
+
+        replicas = None
+        if self.replica_batches:
+            seconds = [s for _, _, s in self.replica_batches]
+            replicas = {
+                "lanes": len(self.replica_batches),
+                "cycles": int(sum(c for _, c, _ in self.replica_batches)),
+                "total_seconds": sum(seconds),
+                "mean_seconds_per_lane": sum(seconds) / len(seconds),
+            }
+
+        return {
+            "schema": PROFILE_SCHEMA,
+            "version": repro.__version__,
+            "sample_every": self.sample_every,
+            "installs": self.installs,
+            "total_est_seconds": total_est,
+            "lanes": {k: lanes[k] for k in sorted(lanes)},
+            "components": components,
+            "replicas": replicas,
+        }
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable top-N table over :meth:`report`."""
+        doc = self.report()
+        lines = [
+            f"compiled-kernel profile: sample_every={doc['sample_every']} "
+            f"est_total={doc['total_est_seconds']:.4f}s"
+        ]
+        lines.append(f"  {'lane':<14} {'comps':>6} {'calls':>12} {'est s':>9} {'share':>7}")
+        for lane, row in doc["lanes"].items():
+            lines.append(
+                f"  {lane:<14} {row['components']:>6} {row['calls']:>12} "
+                f"{row['est_seconds']:>9.4f} {row['share']:>6.1%}"
+            )
+        lines.append(f"  top {min(top, len(doc['components']))} components:")
+        lines.append(f"  {'component':<28} {'lane':<14} {'calls':>12} {'est s':>9}")
+        for c in doc["components"][:top]:
+            lines.append(
+                f"  {c['name']:<28} {c['lane']:<14} {c['calls']:>12} "
+                f"{c['est_seconds']:>9.4f}"
+            )
+        if doc["replicas"]:
+            r = doc["replicas"]
+            lines.append(
+                f"  replica batches: {r['lanes']} lanes, "
+                f"{r['cycles']} cycles, {r['total_seconds']:.3f}s total "
+                f"({r['mean_seconds_per_lane']:.4f}s/lane)"
+            )
+        return "\n".join(lines)
+
+    def write(self, path: str) -> str:
+        """Serialize :meth:`report` to ``path`` (``profile.json``)."""
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.report(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def validate_profile(doc: Any) -> None:
+    """Raise :class:`TelemetryError` unless ``doc`` is a structurally
+    valid ``repro.telemetry.profile/v1`` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        raise TelemetryError("profile document must be an object")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        errors.append(f"schema must be {PROFILE_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("sample_every"), int) or doc.get("sample_every", 0) < 1:
+        errors.append("sample_every must be an int >= 1")
+    if not isinstance(doc.get("lanes"), dict):
+        errors.append("lanes must be an object")
+    if not isinstance(doc.get("components"), list):
+        errors.append("components must be a list")
+    else:
+        for c in doc["components"]:
+            if not (
+                isinstance(c, dict)
+                and isinstance(c.get("name"), str)
+                and isinstance(c.get("calls"), int)
+                and c["calls"] >= 0
+                and isinstance(c.get("est_seconds"), (int, float))
+            ):
+                errors.append(f"malformed component entry: {c!r}")
+                break
+    replicas = doc.get("replicas")
+    if replicas is not None and not (
+        isinstance(replicas, dict)
+        and isinstance(replicas.get("lanes"), int)
+        and isinstance(replicas.get("total_seconds"), (int, float))
+    ):
+        errors.append("replicas must be null or carry lanes/total_seconds")
+    if errors:
+        raise TelemetryError(
+            "profile document violates the schema:\n  " + "\n  ".join(errors)
+        )

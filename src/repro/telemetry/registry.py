@@ -242,6 +242,142 @@ class MetricsRegistry:
     def to_json(self, sim_cycles: Optional[int] = None, indent: int = 2) -> str:
         return json.dumps(self.to_dict(sim_cycles=sim_cycles), indent=indent)
 
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus-style text exposition (``metrics.prom``).
+
+        Counters and gauges map directly; histograms export cumulative
+        ``_bucket{le=...}`` lines plus ``_count``; series export their
+        aggregate ``_count``/``_sum``.  Metric names are sanitized to
+        the ``[a-zA-Z0-9_]`` alphabet Prometheus requires.  Non-finite
+        gauge values are skipped (the scrape format has no null).
+        """
+        def sanitize(name: str) -> str:
+            out = []
+            for ch in name:
+                out.append(ch if (ch.isalnum() and ch.isascii()) or ch == "_" else "_")
+            flat = "".join(out)
+            return f"{prefix}_{flat}" if prefix else flat
+
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            pn = sanitize(name)
+            if m.help:
+                lines.append(f"# HELP {pn} {m.help}")
+            if m.kind == "counter":
+                lines.append(f"# TYPE {pn} counter")
+                lines.append(f"{pn} {m.value}")  # type: ignore[attr-defined]
+            elif m.kind == "gauge":
+                value = m.value  # type: ignore[attr-defined]
+                if isinstance(value, float) and not math.isfinite(value):
+                    continue
+                lines.append(f"# TYPE {pn} gauge")
+                lines.append(f"{pn} {value}")
+            elif m.kind == "histogram":
+                lines.append(f"# TYPE {pn} histogram")
+                cumulative = 0
+                for start in sorted(m.counts):  # type: ignore[attr-defined]
+                    cumulative += m.counts[start]  # type: ignore[attr-defined]
+                    le = start + m.bin_width  # type: ignore[attr-defined]
+                    lines.append(f'{pn}_bucket{{le="{le}"}} {cumulative}')
+                lines.append(f'{pn}_bucket{{le="+Inf"}} {m.observations}')  # type: ignore[attr-defined]
+                lines.append(f"{pn}_count {m.observations}")  # type: ignore[attr-defined]
+            elif m.kind == "series":
+                count = sum(b["count"] for b in m.buckets)  # type: ignore[attr-defined]
+                total = sum(b["sum"] for b in m.buckets)  # type: ignore[attr-defined]
+                lines.append(f"# TYPE {pn}_count gauge")
+                lines.append(f"{pn}_count {count}")
+                lines.append(f"# TYPE {pn}_sum gauge")
+                lines.append(f"{pn}_sum {total}")
+        return "\n".join(lines) + "\n"
+
+    # -- multi-process merge ----------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` (e.g. a worker process's registry) into this
+        one and return ``self``.
+
+        Semantics per kind: counters **sum**; gauges are **last-write**
+        (the incoming value wins -- merging into a callback-backed
+        gauge raises, its value is not ours to set); series concatenate
+        **by window bucket** (same ``start`` -> count/sum add, min/max
+        fold; windows must agree); histograms sum their bin counts
+        (bin widths must agree).  A name registered with a different
+        kind on the two sides raises :class:`TelemetryError`.  Metrics
+        present only in ``other`` are copied in by value (callback
+        gauges are snapshotted -- callables do not cross processes).
+        """
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                self._metrics[name] = _copy_metric(theirs)
+                continue
+            if type(mine) is not type(theirs):
+                raise TelemetryError(
+                    f"merge: metric {name!r} is a {mine.kind} here but a "
+                    f"{theirs.kind} in the incoming registry"
+                )
+            if isinstance(mine, CounterMetric):
+                mine.value += theirs.value  # type: ignore[union-attr]
+            elif isinstance(mine, GaugeMetric):
+                if mine._fn is not None:
+                    raise TelemetryError(
+                        f"merge: gauge {name!r} is callback-backed and "
+                        f"cannot accept an incoming value"
+                    )
+                mine._value = theirs.value  # type: ignore[union-attr]
+            elif isinstance(mine, SeriesMetric):
+                if mine.window != theirs.window:  # type: ignore[union-attr]
+                    raise TelemetryError(
+                        f"merge: series {name!r} window mismatch "
+                        f"({mine.window} != {theirs.window})"  # type: ignore[union-attr]
+                    )
+                by_start = {b["start"]: b for b in mine.buckets}
+                for b in theirs.buckets:  # type: ignore[union-attr]
+                    here = by_start.get(b["start"])
+                    if here is None:
+                        copy = dict(b)
+                        mine.buckets.append(copy)
+                        by_start[copy["start"]] = copy
+                    else:
+                        here["count"] += b["count"]
+                        here["sum"] += b["sum"]
+                        here["min"] = min(here["min"], b["min"])
+                        here["max"] = max(here["max"], b["max"])
+                mine.buckets.sort(key=lambda b: b["start"])
+            elif isinstance(mine, HistogramMetric):
+                if mine.bin_width != theirs.bin_width:  # type: ignore[union-attr]
+                    raise TelemetryError(
+                        f"merge: histogram {name!r} bin_width mismatch "
+                        f"({mine.bin_width} != {theirs.bin_width})"  # type: ignore[union-attr]
+                    )
+                for start, count in theirs.counts.items():  # type: ignore[union-attr]
+                    mine.counts[start] = mine.counts.get(start, 0) + count
+                mine.observations += theirs.observations  # type: ignore[union-attr]
+        return self
+
+
+def _copy_metric(metric: _Metric) -> _Metric:
+    """A by-value copy suitable for cross-process adoption."""
+    if isinstance(metric, CounterMetric):
+        copy: _Metric = CounterMetric(metric.name, metric.help)
+        copy.value = metric.value  # type: ignore[attr-defined]
+    elif isinstance(metric, GaugeMetric):
+        # Snapshot callback gauges: the callable belongs to the source
+        # process; the merged registry keeps the value it read.
+        copy = GaugeMetric(metric.name, help=metric.help)
+        copy._value = metric.value  # type: ignore[attr-defined]
+    elif isinstance(metric, SeriesMetric):
+        copy = SeriesMetric(metric.name, metric.window, metric.help)
+        copy.buckets = [dict(b) for b in metric.buckets]  # type: ignore[attr-defined]
+    elif isinstance(metric, HistogramMetric):
+        copy = HistogramMetric(metric.name, metric.bin_width, metric.help)
+        copy.counts = dict(metric.counts)  # type: ignore[attr-defined]
+        copy.observations = metric.observations  # type: ignore[attr-defined]
+    else:  # pragma: no cover - no other kinds exist
+        raise TelemetryError(f"cannot copy metric kind {metric.kind!r}")
+    return copy
+
 
 def validate_metrics(doc: Any) -> None:
     """Raise :class:`TelemetryError` if ``doc`` violates the v1 schema."""

@@ -108,6 +108,8 @@ class TestObservabilityDoc:
             "README.md",
             os.path.join("docs", "ARCHITECTURE.md"),
             os.path.join("docs", "PERFORMANCE.md"),
+            os.path.join("docs", "BATCHING.md"),
+            os.path.join("docs", "CHECKPOINT.md"),
         ):
             with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
                 assert "OBSERVABILITY.md" in f.read(), f"{doc} must link the guide"
@@ -129,6 +131,14 @@ class TestObservabilityDoc:
             "all three kernels", "compile_fallback",
             "ci95", "replicas", "BENCH_s3.json", "BENCH_a8.json",
             "--replicas", "BATCHING.md",
+            # fleet telemetry: run events, profiler, dashboard, regress
+            "repro.telemetry.events/v1", "events.jsonl",
+            "point_start", "retry", "point_end", "checkpoint",
+            "lane_batch", "run_end", "replay_summary",
+            "KernelProfiler", "sample_every", "profile.json",
+            "python -m repro top", "metrics.prom",
+            "MetricsRegistry.merge",
+            "bench-diff", "BENCH_TRAJECTORY.json", "top-smoke",
         ):
             assert term in text, term
 

@@ -383,7 +383,8 @@ class TestNocTelemetry:
         noc.run(600)
         paths = telem.write(tmp_path / "out")
         assert sorted(p.name for p in paths.values()) == [
-            "heatmap.csv", "heatmap.txt", "metrics.json", "trace.json",
+            "heatmap.csv", "heatmap.txt", "metrics.json", "metrics.prom",
+            "trace.json",
         ]
         validate_metrics(json.loads(paths["metrics"].read_text()))
         trace = json.loads(paths["trace"].read_text())
@@ -497,3 +498,206 @@ class TestFaultInstants:
         assert "noc.transactions_retried" in gauges
         assert gauges["faults.faults.windows_opened"]["value"] > 0
         validate_metrics(doc)
+
+
+# ---------------------------------------------------------------------------
+# Multi-process merge and Prometheus exposition (fleet telemetry)
+# ---------------------------------------------------------------------------
+class TestRegistryMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(3)
+        b.counter("hits").inc(4)
+        assert a.merge(b) is a
+        assert a.counter("hits").value == 7
+
+    def test_gauges_are_last_write(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(1.0)
+        b.gauge("depth").set(9.0)
+        a.merge(b)
+        assert a.gauge("depth").value == 9.0
+
+    def test_callback_gauge_refuses_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("live", fn=lambda: 5)
+        b.gauge("live").set(1.0)
+        with pytest.raises(TelemetryError, match="callback-backed"):
+            a.merge(b)
+
+    def test_series_concatenate_by_bucket(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        sa = a.series("util", window=10)
+        sa.observe(3, 1.0)
+        sb = b.series("util", window=10)
+        sb.observe(7, 3.0)
+        sb.observe(15, 5.0)
+        a.merge(b)
+        assert [x["start"] for x in sa.buckets] == [0, 10]
+        assert sa.buckets[0] == {
+            "start": 0, "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0
+        }
+
+    def test_series_window_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.series("util", window=10)
+        b.series("util", window=20)
+        with pytest.raises(TelemetryError, match="window"):
+            a.merge(b)
+
+    def test_histograms_sum_bins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("lat", bin_width=10)
+        ha.observe(4)
+        hb = b.histogram("lat", bin_width=10)
+        hb.observe(4)
+        hb.observe(17)
+        a.merge(b)
+        assert ha.counts == {0: 2, 10: 1}
+        assert ha.observations == 3
+
+    def test_histogram_bin_width_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", bin_width=10)
+        b.histogram("lat", bin_width=5)
+        with pytest.raises(TelemetryError, match="bin_width"):
+            a.merge(b)
+
+    def test_kind_collision_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TelemetryError, match="counter.*gauge"):
+            a.merge(b)
+
+    def test_adopts_metrics_only_in_other(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        state = {"v": 2}
+        b.counter("c").inc(5)
+        b.gauge("g", fn=lambda: state["v"])
+        a.merge(b)
+        assert a.counter("c").value == 5
+        # Callback gauges are snapshotted: the callable stays in the
+        # worker process, the merged registry keeps the value it read.
+        state["v"] = 99
+        assert a.gauge("g").value == 2
+        a.gauge("g").set(3.0)  # and the copy is settable here
+        # The source registry is untouched by the merge.
+        assert b.counter("c").value == 5
+
+    def test_merged_document_still_validates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc()
+        b.counter("c").inc()
+        b.series("s", window=5).observe(2, 1.0)
+        b.histogram("h", bin_width=2).observe(3)
+        doc = a.merge(b).to_dict(sim_cycles=10)
+        validate_metrics(doc)
+        assert doc["counters"]["c"]["value"] == 2
+
+
+class TestPrometheusExposition:
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("noc.flits_sent", help="flits offered").inc(7)
+        reg.gauge("queue.sw_0_0/p0").set(1.5)
+        reg.gauge("bad", fn=lambda: float("nan"))
+        h = reg.histogram("latency", bin_width=10)
+        for v in (4, 14, 17):
+            h.observe(v)
+        s = reg.series("util", window=10)
+        s.observe(3, 1.0)
+        s.observe(7, 3.0)
+        return reg
+
+    def test_names_are_sanitized_and_prefixed(self):
+        text = self.registry().to_prometheus()
+        assert "repro_noc_flits_sent 7" in text
+        assert "repro_queue_sw_0_0_p0 1.5" in text
+        assert "# HELP repro_noc_flits_sent flits offered" in text
+        assert "# TYPE repro_noc_flits_sent counter" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self.registry().to_prometheus()
+        assert 'repro_latency_bucket{le="10"} 1' in text
+        assert 'repro_latency_bucket{le="20"} 3' in text
+        assert 'repro_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_count 3" in text
+
+    def test_series_export_count_and_sum(self):
+        text = self.registry().to_prometheus()
+        assert "repro_util_count 2" in text
+        assert "repro_util_sum 4.0" in text
+
+    def test_nonfinite_gauges_are_skipped(self):
+        text = self.registry().to_prometheus()
+        assert "repro_bad" not in text
+
+    def test_custom_prefix(self):
+        text = self.registry().to_prometheus(prefix="xp")
+        assert "xp_noc_flits_sent 7" in text
+        assert "repro_" not in text
+
+    def test_noc_telemetry_writes_metrics_prom(self, tmp_path):
+        noc = tiny_noc()
+        telem = NocTelemetry(noc)
+        noc.run_until_drained(max_cycles=500_000)
+        paths = telem.write(str(tmp_path / "out"))
+        assert paths["metrics_prom"].name == "metrics.prom"
+        text = paths["metrics_prom"].read_text()
+        # The .prom exposition describes the same registry as the
+        # validated metrics.json next to it.
+        doc = json.loads(paths["metrics"].read_text())
+        validate_metrics(doc)
+        done = doc["gauges"]["noc.transactions_completed"]["value"]
+        assert done > 0
+        assert f"repro_noc_transactions_completed {done}" in text
+
+
+class TestLaneMetricsRoundTrip:
+    """Satellite contract: per-lane campaign metrics and their ci95
+    half-widths survive a ``metrics.json`` round-trip intact."""
+
+    @pytest.mark.timeout_guard(240)
+    def test_replicated_campaign_metrics_round_trip(self, tmp_path):
+        from repro.faults import CampaignSpec, FaultWindow, run_campaign_replicated
+        from repro.network.experiments import TopologyNocBuilder
+        from repro.network.topology import mesh as mesh_topo
+
+        spec = CampaignSpec(
+            builder=TopologyNocBuilder(
+                mesh_topo, (2, 2), n_initiators=2, n_targets=2,
+                config=NocBuildConfig(
+                    ni_txn_timeout=300, ni_txn_retries=1,
+                    link_resync_timeout=40,
+                ),
+            ),
+            windows=(FaultWindow("link.*", start=150, duration=400,
+                                 error_rate=0.05),),
+            rate=0.08, warmup_cycles=100, measure_cycles=800, seed=3,
+            label="roundtrip-test",
+        )
+        result = run_campaign_replicated(spec, replicas=3)
+        assert result.ci95 and result.lane_metrics
+
+        reg = MetricsRegistry()
+        for name, column in sorted(result.lane_metrics.items()):
+            for lane, value in enumerate(column):
+                reg.gauge(f"lane.{name}.{lane}").set(float(value))
+        for name, half in sorted(result.ci95.items()):
+            reg.gauge(f"ci95.{name}").set(float(half))
+
+        path = tmp_path / "metrics.json"
+        path.write_text(reg.to_json(sim_cycles=spec.measure_cycles))
+        doc = json.loads(path.read_text())
+        validate_metrics(doc)
+
+        gauges = doc["gauges"]
+        for name, column in result.lane_metrics.items():
+            got = tuple(
+                gauges[f"lane.{name}.{lane}"]["value"]
+                for lane in range(len(column))
+            )
+            assert got == tuple(float(v) for v in column)
+        for name, half in result.ci95.items():
+            assert gauges[f"ci95.{name}"]["value"] == pytest.approx(half)
