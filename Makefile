@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke bench-diff
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke bench-diff serve
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench-diff --update \
 		--note "make bench-smoke"
@@ -61,6 +61,18 @@ batch-smoke:
 # docs/OBSERVABILITY.md.
 top-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/top_smoke.py
+
+# DSE-service pulse-check: seed a store through the work-stealing farm
+# (digest-identical to serial), boot `python -m repro serve` on a free
+# port, require a covered query to be a pure store hit, a miss to land
+# in the store and hit on repeat, a background job to stream events,
+# and /metrics to expose the store/serve series.  See docs/SERVICE.md.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_smoke.py
+
+# The DSE query service itself (docs/SERVICE.md).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve --store .repro-store
 
 # Perf-regression gate: diff the tracked BENCH ratios against the
 # committed BENCH_TRAJECTORY.json (exit 1 past a 20% relative drop).

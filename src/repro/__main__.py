@@ -11,6 +11,7 @@ Usage::
     python -m repro faults --smoke    # deterministic resilience smoke
     python -m repro top --dir DIR     # live dashboard over a run's events
     python -m repro bench-diff        # diff BENCH results vs trajectory
+    python -m repro serve --store DIR # HTTP design-space query service
 
 ``figures`` accepts ``--jobs N`` (run sweep points on N worker
 processes) and ``--cache DIR`` (memoize sweep results on disk, keyed by
@@ -50,6 +51,17 @@ the committed ``BENCH_TRAJECTORY.json``; it exits 1 when any tracked
 metric dropped more than ``--threshold`` (default 20%%), and
 ``--update`` appends the current values as a new trajectory entry.
 Both are documented in docs/OBSERVABILITY.md.
+
+``serve`` starts the design-space query service (docs/SERVICE.md): an
+asyncio HTTP front end over the content-addressed result store in
+``--store DIR``.  ``POST /query`` answers queries like "cheapest 5x5
+config >= 800 MHz under this traffic" -- inline from the store when
+every point is already known, admission-controlled into the
+work-stealing farm when not (``--serve-workers N`` worker processes,
+at most ``--max-inflight`` evaluations at once).  ``GET /healthz`` and
+the Prometheus ``GET /metrics`` make it a well-behaved fleet citizen;
+``GET /jobs/<id>/events`` streams a background query's telemetry
+events.  ``--port 0`` picks a free port (printed on startup).
 """
 
 from __future__ import annotations
@@ -72,6 +84,8 @@ def _info() -> int:
         ("repro.synth", "area/power/timing/energy models @130nm anchors"),
         ("repro.flow", "task graphs, mapping, floorplan, bandwidth, selection"),
         ("repro.compiler", "NoC spec -> routing tables + sim + SystemC views"),
+        ("repro.store", "content-addressed, sha256-verified result store"),
+        ("repro.serve", "work-stealing farm + HTTP design-space queries"),
     ]
     for mod, desc in rows:
         print(f"  {mod:<16} {desc}")
@@ -362,6 +376,28 @@ def _bench_diff(
     )
 
 
+def _serve(
+    store_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    workers: int = 2,
+    max_inflight: int = 2,
+) -> int:
+    from repro.serve.http import QueryServer, run_server
+    from repro.serve.service import QueryEngine
+    from repro.store import ResultStore
+    from repro.telemetry.registry import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    store = ResultStore(store_dir, metrics=metrics)
+    engine = QueryEngine(store, workers=workers, metrics=metrics)
+    server = QueryServer(
+        engine, host=host, port=port, max_inflight=max_inflight
+    )
+    run_server(server)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +415,7 @@ def main(argv=None) -> int:
             "faults",
             "top",
             "bench-diff",
+            "serve",
         ],
         nargs="?",
         default="info",
@@ -538,7 +575,53 @@ def main(argv=None) -> int:
         metavar="TEXT",
         help="bench-diff: annotation stored with an --update entry",
     )
+    parser.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="serve: root of the content-addressed result store "
+        "(default: .repro-store; created on first use, shareable "
+        "across hosts -- see docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="serve: address to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        metavar="N",
+        help="serve: port to bind; 0 picks a free port, printed on "
+        "startup (default: 8787)",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serve: work-stealing worker processes per farm evaluation "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serve: admission control -- at most N farm evaluations in "
+        "flight before POST /query answers 429 (default: 2)",
+    )
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(
+            store_dir=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.serve_workers,
+            max_inflight=args.max_inflight,
+        )
     if args.command == "figures":
         return _figures(
             jobs=args.jobs,

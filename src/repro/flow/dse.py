@@ -127,9 +127,16 @@ def explore_design_space(
 
 
 def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """Non-dominated points, sorted by latency."""
+    """Non-dominated points, sorted by latency.
+
+    Comparison is by *value*, never identity: points restored from the
+    result store, a cache pickle, or another process are equal to (but
+    not the same object as) their originals, and value-equal duplicates
+    collapse to one frontier entry instead of distorting it.
+    """
+    unique = list(dict.fromkeys(points))  # value-dedup, order preserved
     frontier = [
-        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+        p for p in unique if not any(q.dominates(p) for q in unique if q != p)
     ]
     frontier.sort(key=lambda p: (p.latency_ns, p.area_mm2))
     return frontier
@@ -141,9 +148,12 @@ def render_space(
     title: str = "design space",
 ) -> str:
     frontier = list(frontier or [])
-    on_frontier = set(id(p) for p in frontier)
+    # Membership by value, not id(): a frozen DesignPoint hashes by its
+    # field values, so points that round-tripped through the cache, the
+    # result store or a worker process still earn their ``*``.
+    on_frontier = set(frontier)
     lines = [f"{title} ({len(points)} points, {len(frontier)} on the frontier)"]
     for p in sorted(points, key=lambda p: (p.topology_name, p.flit_width, p.buffer_depth)):
-        marker = "*" if id(p) in on_frontier else " "
+        marker = "*" if p in on_frontier else " "
         lines.append(f" {marker}{p.row()}")
     return "\n".join(lines)

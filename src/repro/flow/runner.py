@@ -258,6 +258,14 @@ class ExperimentRunner:
         Directory for pickled results; ``None`` (default) disables
         memoization.  Created on first use.  Also hosts the
         ``runs.jsonl`` journal.
+    store:
+        Optional :class:`repro.store.ResultStore`: the shared,
+        sha256-verified content-addressed tier (docs/SERVICE.md).  When
+        set it is consulted before the private ``cache_dir`` pickles
+        and every computed result is published to it, so many runners
+        -- possibly on many hosts -- pool their work.  With a store
+        and no ``cache_dir``, the journal and event stream live in the
+        store's root directory.
     salt:
         Extra string mixed into every cache key -- a manual
         invalidation lever for callers.
@@ -300,6 +308,7 @@ class ExperimentRunner:
 
     jobs: int = 1
     cache_dir: Optional[str] = None
+    store: Optional[Any] = None
     salt: str = ""
     timeout: Optional[float] = None
     retries: int = 0
@@ -399,6 +408,39 @@ class ExperimentRunner:
             self.metrics.counter(f"runner.{name}").inc()
 
     # -- cache plumbing ---------------------------------------------------
+    def _check_keyable_fn(self, fn: Callable) -> None:
+        """Refuse functions whose :func:`stable_repr` is ambiguous.
+
+        Callables hash by qualname only, so every lambda is
+        ``<lambda>`` and every instantiation of a closure keeps one
+        qualname while capturing different cells -- semantically
+        different functions would share a cache key, and a shared
+        :class:`~repro.store.ResultStore` would then serve a
+        wrong-function hit to another host.  Enforced only when results
+        are memoized (``cache_dir`` or ``store`` configured): without a
+        cache the keys are reporting labels, nothing is served by them.
+        """
+        probe = fn
+        while isinstance(probe, functools.partial):
+            probe = probe.func
+        qualname = getattr(probe, "__qualname__", "")
+        if getattr(probe, "__name__", None) == "<lambda>":
+            raise ValueError(
+                f"cannot cache results of lambda {qualname!r}: every "
+                "lambda hashes to the same '<lambda>' identity, so "
+                "cached results would be served across different "
+                "functions.  Use a named module-level function (or "
+                "functools.partial over one)."
+            )
+        if getattr(probe, "__closure__", None):
+            raise ValueError(
+                f"cannot cache results of closure {qualname!r}: captured "
+                "cells do not enter the cache key, so two closures with "
+                "the same qualname but different captured values would "
+                "collide.  Pass captured values through the point or a "
+                "functools.partial instead."
+            )
+
     def _key(self, fn: Callable, point: Any) -> str:
         ident = (
             f"v{CACHE_VERSION}|{self.salt}|{stable_repr(fn)}|{stable_repr(point)}"
@@ -410,6 +452,10 @@ class ExperimentRunner:
         return os.path.join(self.cache_dir, f"{key}.pkl")
 
     def _cache_load(self, key: str) -> "tuple[bool, Any]":
+        if self.store is not None:
+            hit, value = self.store.get(key)
+            if hit:
+                return True, value
         if self.cache_dir is None:
             return False, None
         path = self._cache_path(key)
@@ -440,6 +486,8 @@ class ExperimentRunner:
             return False, None
 
     def _cache_store(self, key: str, result: Any) -> None:
+        if self.store is not None:
+            self.store.put(key, result)
         if self.cache_dir is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
@@ -459,16 +507,20 @@ class ExperimentRunner:
     # -- journal ----------------------------------------------------------
     @property
     def journal_path(self) -> Optional[str]:
-        """``runs.jsonl`` inside the cache directory (None when uncached)."""
-        if self.cache_dir is None:
-            return None
-        return os.path.join(self.cache_dir, "runs.jsonl")
+        """``runs.jsonl`` inside the cache directory -- or, with only a
+        shared store configured, inside the store root (None when fully
+        uncached)."""
+        if self.cache_dir is not None:
+            return os.path.join(self.cache_dir, "runs.jsonl")
+        if self.store is not None:
+            return os.path.join(self.store.root, "runs.jsonl")
+        return None
 
     def _journal_append(self, record: Dict[str, Any]) -> None:
         path = self.journal_path
         if path is None:
             return
-        os.makedirs(self.cache_dir, exist_ok=True)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         line = json.dumps(record, sort_keys=True)
         with open(path, "a", encoding="utf-8") as f:
             f.write(line + "\n")
@@ -528,172 +580,28 @@ class ExperimentRunner:
         :class:`PointFailure` and, under ``on_failure="raise"``, the
         first failure is re-raised only after every sibling has
         finished.
+
+        The bookkeeping (cache probing, journaling, manifests, event
+        stream, retry accounting) lives in :class:`MapSession`, which
+        the work-stealing dispatcher
+        (:class:`repro.serve.WorkStealingDispatcher`) shares -- only
+        the scheduling differs between the two.
         """
-        eff_timeout = self.timeout if timeout is None else timeout
-        eff_retries = self.retries if retries is None else retries
-        eff_on_failure = self.on_failure if on_failure is None else on_failure
-        eff_resume = self.resume if resume is None else resume
-        if eff_on_failure not in ("raise", "record"):
-            raise ValueError(
-                f"on_failure must be 'raise' or 'record', got {eff_on_failure!r}"
-            )
-        if eff_retries < 0:
-            raise ValueError(f"retries must be >= 0, got {eff_retries}")
-
-        from repro.telemetry import events as _events
-
-        keys = [self._key(fn, p) for p in points]
-        results: List[Any] = [None] * len(points)
-        manifests: List[Optional[RunManifest]] = [None] * len(points)
-        journal = self.journal_entries() if eff_resume else {}
-        pending: List[int] = []
-        hits: List[int] = []
-        for i, key in enumerate(keys):
-            hit, value = self._cache_load(key)
-            if hit:
-                self.cache_hits += 1
-                if eff_resume and journal.get(key, {}).get("status") == "ok":
-                    self._count("resumed_points", "resumed_points")
-                results[i] = value
-                manifests[i] = RunManifest.local(key, cached=True, seconds=0.0)
-                self.reports.append(
-                    PointReport(f"{label}[{i}]", key, 0.0, cached=True)
-                )
-                hits.append(i)
-            else:
-                self.cache_misses += 1
-                pending.append(i)
-
-        writer = None
-        path = self.events_path
-        if path is None and self.cache_dir is not None:
-            path = os.path.join(self.cache_dir, "events.jsonl")
-        if path:
-            writer = _events.install_sink(_events.EventWriter(path))
-
-        first_exc: Optional[BaseException] = None
-        tally = {"ok": 0, "failed": 0, "retries": 0}
-
-        def finish_ok(i: int, attempts: int, seconds: float, result: Any) -> None:
-            results[i] = result
-            manifests[i] = RunManifest.local(keys[i], cached=False, seconds=seconds)
-            self.reports.append(
-                PointReport(f"{label}[{i}]", keys[i], seconds, cached=False)
-            )
-            self._cache_store(keys[i], result)
-            self._journal_append(
-                {
-                    "status": "ok",
-                    "label": f"{label}[{i}]",
-                    "key": keys[i],
-                    "seconds": round(seconds, 6),
-                    "attempts": attempts,
-                }
-            )
-            tally["ok"] += 1
-            _events.emit(
-                "point_end", label=f"{label}[{i}]", key=keys[i], status="ok",
-                seconds=round(seconds, 6), attempts=attempts, cached=False,
-            )
-
-        def finish_failed(
-            i: int,
-            attempts: int,
-            seconds: float,
-            kind: str,
-            message: str,
-            exc: Optional[BaseException],
-            tb: str = "",
-        ) -> None:
-            nonlocal first_exc
-            failure = PointFailure(
-                label=f"{label}[{i}]",
-                key=keys[i],
-                kind=kind,
-                message=message,
-                attempts=attempts,
-                seconds=seconds,
-                point_repr=stable_repr(points[i]),
-                fn_repr=stable_repr(fn),
-                traceback=tb,
-            )
-            self.failures.append(failure)
-            self._count("failures", "failure_count")
-            self._journal_append(failure.as_record())
-            tally["failed"] += 1
-            _events.emit(
-                "point_end", label=failure.label, key=keys[i], status="failed",
-                seconds=round(seconds, 6), attempts=attempts, cached=False,
-                kind=kind, message=message,
-            )
-            if eff_on_failure == "raise" and first_exc is None:
-                first_exc = exc if exc is not None else RuntimeError(
-                    f"{failure.label} {kind} after {attempts} attempt(s): {message}"
-                )
-
+        session = MapSession(
+            self, fn, points, label,
+            timeout=timeout, retries=retries,
+            on_failure=on_failure, resume=resume,
+        )
+        session.start()
         try:
-            _events.emit(
-                "run_start", label=label, points=len(points),
-                pending=len(pending), cached=len(hits), jobs=self.jobs,
-            )
-            for i in hits:
-                _events.emit(
-                    "point_end", label=f"{label}[{i}]", key=keys[i],
-                    status="ok", seconds=0.0, attempts=0, cached=True,
-                )
-
-            if pending and self.jobs > 1:
-                self._run_pool(
-                    fn, points, keys, pending, label,
-                    eff_timeout, eff_retries, finish_ok, finish_failed, tally,
-                )
+            if session.pending and self.jobs > 1:
+                self._run_pool(session)
             else:
-                for i in pending:
-                    attempts = 0
-                    while True:
-                        attempts += 1
-                        _events.emit(
-                            "point_start", label=f"{label}[{i}]",
-                            key=keys[i], attempt=attempts,
-                        )
-                        t0 = time.perf_counter()
-                        try:
-                            result = fn(points[i])
-                        except Exception as exc:
-                            seconds = time.perf_counter() - t0
-                            if attempts <= eff_retries:
-                                self._count("retries", "retry_count")
-                                tally["retries"] += 1
-                                _events.emit(
-                                    "retry", label=f"{label}[{i}]", key=keys[i],
-                                    attempt=attempts, kind="error",
-                                    message=f"{type(exc).__name__}: {exc}",
-                                )
-                                time.sleep(self.backoff * (2 ** (attempts - 1)))
-                                continue
-                            finish_failed(
-                                i, attempts, seconds, "error",
-                                f"{type(exc).__name__}: {exc}", exc,
-                                traceback.format_exc(),
-                            )
-                            break
-                        seconds = time.perf_counter() - t0
-                        finish_ok(i, attempts, seconds, result)
-                        break
-
-            _events.emit(
-                "run_end", label=label, ok=tally["ok"], failed=tally["failed"],
-                cached=len(hits), retries=tally["retries"],
-            )
+                self._run_inline(session)
+            session.emit_run_end()
         finally:
-            if writer is not None:
-                _events.remove_sink(writer)
-                writer.close()
-
-        self.last_manifests = [m for m in manifests if m is not None]
-        if first_exc is not None:
-            raise first_exc
-        return results
+            session.close()
+        return session.finalize()
 
     def map_replicated(
         self,
@@ -723,19 +631,36 @@ class ExperimentRunner:
             flat[i * replicas:(i + 1) * replicas] for i in range(len(points))
         ]
 
-    def _run_pool(
-        self,
-        fn: Callable[[Any], Any],
-        points: Sequence[Any],
-        keys: List[str],
-        pending: List[int],
-        label: str,
-        eff_timeout: Optional[float],
-        eff_retries: int,
-        finish_ok: Callable,
-        finish_failed: Callable,
-        tally: Optional[Dict[str, int]] = None,
-    ) -> None:
+    def _run_inline(self, session: "MapSession") -> None:
+        """Sequential execution of the pending points (``jobs == 1``)."""
+        from repro.telemetry import events as _events
+
+        for i in session.pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                _events.emit(
+                    "point_start", label=f"{session.label}[{i}]",
+                    key=session.keys[i], attempt=attempts,
+                )
+                t0 = time.perf_counter()
+                try:
+                    result = session.fn(session.points[i])
+                except Exception as exc:
+                    seconds = time.perf_counter() - t0
+                    if session.attempt_failed(
+                        i, attempts, seconds, "error",
+                        f"{type(exc).__name__}: {exc}", exc,
+                        traceback.format_exc(),
+                    ):
+                        time.sleep(self.backoff * (2 ** (attempts - 1)))
+                        continue
+                    break
+                seconds = time.perf_counter() - t0
+                session.finish_ok(i, attempts, seconds, result)
+                break
+
+    def _run_pool(self, session: "MapSession") -> None:
         """One process per point with timeout/crash isolation.
 
         A hand-rolled pool instead of :class:`ProcessPoolExecutor`
@@ -746,29 +671,22 @@ class ExperimentRunner:
         """
         from repro.telemetry import events as _events
 
+        fn, points, keys = session.fn, session.points, session.keys
+        label = session.label
+        eff_timeout = session.timeout
+
         ctx = multiprocessing.get_context()
-        ready_queue = deque((i, 1) for i in pending)  # (index, attempt_no)
+        ready_queue = deque((i, 1) for i in session.pending)  # (index, attempt_no)
         delayed: List["tuple[float, int, int]"] = []  # (not_before, index, attempt)
         running: Dict[Any, "tuple[int, int, Any, float]"] = {}  # conn -> (i, attempt, proc, started)
 
         def handle_failure(i: int, attempt: int, seconds: float, kind: str,
                            message: str, exc: Optional[BaseException], tb: str) -> None:
-            if kind == "timeout":
-                self._count("timeouts", "timeout_count")
-            elif kind == "crash":
-                self._count("crashes", "crash_count")
-            if attempt <= eff_retries:
-                self._count("retries", "retry_count")
-                if tally is not None:
-                    tally["retries"] += 1
-                _events.emit(
-                    "retry", label=f"{label}[{i}]", key=keys[i],
-                    attempt=attempt, kind=kind, message=message,
-                )
+            if session.attempt_failed(i, attempt, seconds, kind, message, exc, tb):
                 not_before = time.monotonic() + self.backoff * (2 ** (attempt - 1))
                 delayed.append((not_before, i, attempt + 1))
-            else:
-                finish_failed(i, attempt, seconds, kind, message, exc, tb)
+
+        finish_ok = session.finish_ok
 
         try:
             while ready_queue or delayed or running:
@@ -865,6 +783,7 @@ class ExperimentRunner:
         lines = [
             f"{title}: jobs={self.jobs} "
             f"cache={'off' if self.cache_dir is None else self.cache_dir} "
+            f"store={'off' if self.store is None else self.store.root} "
             f"hits={self.cache_hits} misses={self.cache_misses}",
         ]
         if (self.retry_count or self.timeout_count or self.crash_count
@@ -886,3 +805,231 @@ class ExperimentRunner:
                 f"[{f.kind} x{f.attempts}] {f.message}"
             )
         return "\n".join(lines)
+
+
+class MapSession:
+    """Bookkeeping for one batch of points, shared across schedulers.
+
+    :meth:`ExperimentRunner.map` and the work-stealing dispatcher
+    (:class:`repro.serve.WorkStealingDispatcher`) schedule work very
+    differently -- one process per point vs. long-lived workers pulling
+    from shards -- but everything *around* the scheduling is identical
+    and lives here: effective retry/timeout configuration, cache keys
+    and cache probing, the streamed cache/journal/manifest updates as
+    points finish, retry accounting, the telemetry event stream, and
+    the deferred first-failure re-raise.
+
+    Lifecycle: construct (probes the cache, classifying every point as
+    a hit or ``pending``), :meth:`start` (opens the event stream and
+    emits ``run_start`` plus the cache-hit ``point_end`` records), then
+    the scheduler calls :meth:`finish_ok` / :meth:`attempt_failed` as
+    attempts resolve, :meth:`emit_run_end`, :meth:`close` and
+    :meth:`finalize` (publishes manifests, re-raises under
+    ``on_failure="raise"``, returns results in input order).
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any],
+        label: str = "point",
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        on_failure: Optional[str] = None,
+        resume: Optional[bool] = None,
+    ) -> None:
+        self.runner = runner
+        self.fn = fn
+        self.points = points
+        self.label = label
+        self.timeout = runner.timeout if timeout is None else timeout
+        self.retries = runner.retries if retries is None else retries
+        self.on_failure = runner.on_failure if on_failure is None else on_failure
+        self.resume = runner.resume if resume is None else resume
+        if self.on_failure not in ("raise", "record"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'record', got {self.on_failure!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+        if runner.cache_dir is not None or runner.store is not None:
+            runner._check_keyable_fn(fn)
+        self.keys = [runner._key(fn, p) for p in points]
+        self.results: List[Any] = [None] * len(points)
+        self.manifests: List[Optional[RunManifest]] = [None] * len(points)
+        self.tally = {"ok": 0, "failed": 0, "retries": 0}
+        self.first_exc: Optional[BaseException] = None
+        self.hits: List[int] = []
+        self.pending: List[int] = []
+        self._writer: Optional[Any] = None
+
+        journal = runner.journal_entries() if self.resume else {}
+        for i, key in enumerate(self.keys):
+            hit, value = runner._cache_load(key)
+            if hit:
+                runner.cache_hits += 1
+                if self.resume and journal.get(key, {}).get("status") == "ok":
+                    runner._count("resumed_points", "resumed_points")
+                self.results[i] = value
+                self.manifests[i] = RunManifest.local(key, cached=True, seconds=0.0)
+                runner.reports.append(
+                    PointReport(f"{label}[{i}]", key, 0.0, cached=True)
+                )
+                self.hits.append(i)
+            else:
+                runner.cache_misses += 1
+                self.pending.append(i)
+
+    # -- event stream -----------------------------------------------------
+    def events_path(self) -> Optional[str]:
+        runner = self.runner
+        if runner.events_path is not None:
+            return runner.events_path or None  # "" disables streaming
+        if runner.cache_dir is not None:
+            return os.path.join(runner.cache_dir, "events.jsonl")
+        if runner.store is not None:
+            return os.path.join(runner.store.root, "events.jsonl")
+        return None
+
+    def start(self) -> None:
+        from repro.telemetry import events as _events
+
+        path = self.events_path()
+        if path:
+            self._writer = _events.install_sink(_events.EventWriter(path))
+        _events.emit(
+            "run_start", label=self.label, points=len(self.points),
+            pending=len(self.pending), cached=len(self.hits),
+            jobs=self.runner.jobs,
+        )
+        for i in self.hits:
+            _events.emit(
+                "point_end", label=f"{self.label}[{i}]", key=self.keys[i],
+                status="ok", seconds=0.0, attempts=0, cached=True,
+            )
+
+    def emit_run_end(self) -> None:
+        from repro.telemetry import events as _events
+
+        _events.emit(
+            "run_end", label=self.label, ok=self.tally["ok"],
+            failed=self.tally["failed"], cached=len(self.hits),
+            retries=self.tally["retries"],
+        )
+
+    def close(self) -> None:
+        from repro.telemetry import events as _events
+
+        if self._writer is not None:
+            _events.remove_sink(self._writer)
+            self._writer.close()
+            self._writer = None
+
+    # -- attempt outcomes -------------------------------------------------
+    def finish_ok(self, i: int, attempts: int, seconds: float, result: Any) -> None:
+        from repro.telemetry import events as _events
+
+        runner = self.runner
+        self.results[i] = result
+        self.manifests[i] = RunManifest.local(
+            self.keys[i], cached=False, seconds=seconds
+        )
+        runner.reports.append(
+            PointReport(f"{self.label}[{i}]", self.keys[i], seconds, cached=False)
+        )
+        runner._cache_store(self.keys[i], result)
+        runner._journal_append(
+            {
+                "status": "ok",
+                "label": f"{self.label}[{i}]",
+                "key": self.keys[i],
+                "seconds": round(seconds, 6),
+                "attempts": attempts,
+            }
+        )
+        self.tally["ok"] += 1
+        _events.emit(
+            "point_end", label=f"{self.label}[{i}]", key=self.keys[i],
+            status="ok", seconds=round(seconds, 6), attempts=attempts,
+            cached=False,
+        )
+
+    def finish_failed(
+        self,
+        i: int,
+        attempts: int,
+        seconds: float,
+        kind: str,
+        message: str,
+        exc: Optional[BaseException],
+        tb: str = "",
+    ) -> None:
+        from repro.telemetry import events as _events
+
+        runner = self.runner
+        failure = PointFailure(
+            label=f"{self.label}[{i}]",
+            key=self.keys[i],
+            kind=kind,
+            message=message,
+            attempts=attempts,
+            seconds=seconds,
+            point_repr=stable_repr(self.points[i]),
+            fn_repr=stable_repr(self.fn),
+            traceback=tb,
+        )
+        runner.failures.append(failure)
+        runner._count("failures", "failure_count")
+        runner._journal_append(failure.as_record())
+        self.tally["failed"] += 1
+        _events.emit(
+            "point_end", label=failure.label, key=self.keys[i],
+            status="failed", seconds=round(seconds, 6), attempts=attempts,
+            cached=False, kind=kind, message=message,
+        )
+        if self.on_failure == "raise" and self.first_exc is None:
+            self.first_exc = exc if exc is not None else RuntimeError(
+                f"{failure.label} {kind} after {attempts} attempt(s): {message}"
+            )
+
+    def attempt_failed(
+        self,
+        i: int,
+        attempt: int,
+        seconds: float,
+        kind: str,
+        message: str,
+        exc: Optional[BaseException],
+        tb: str = "",
+    ) -> bool:
+        """Account one failed attempt.  Returns True when the point has
+        retries left -- the caller schedules the re-attempt after its
+        backoff -- and False when the failure is final (recorded,
+        journaled and counted here)."""
+        from repro.telemetry import events as _events
+
+        runner = self.runner
+        if kind == "timeout":
+            runner._count("timeouts", "timeout_count")
+        elif kind == "crash":
+            runner._count("crashes", "crash_count")
+        if attempt <= self.retries:
+            runner._count("retries", "retry_count")
+            self.tally["retries"] += 1
+            _events.emit(
+                "retry", label=f"{self.label}[{i}]", key=self.keys[i],
+                attempt=attempt, kind=kind, message=message,
+            )
+            return True
+        self.finish_failed(i, attempt, seconds, kind, message, exc, tb)
+        return False
+
+    # -- wrap-up ----------------------------------------------------------
+    def finalize(self) -> List[Any]:
+        self.runner.last_manifests = [m for m in self.manifests if m is not None]
+        if self.first_exc is not None:
+            raise self.first_exc
+        return self.results

@@ -1,0 +1,374 @@
+"""Work-stealing dispatch of sweep points over long-lived workers.
+
+:meth:`ExperimentRunner.map` spawns one short-lived process per point
+-- maximal isolation, but every point pays a process startup, and a
+static partition of a sweep would leave early-finishing workers idle
+while a straggler grinds through its share.  This dispatcher is the
+farm tier of the DSE service (docs/SERVICE.md):
+
+* ``workers`` **long-lived processes**, each fed over its own duplex
+  pipe, amortize interpreter/import startup across many points;
+* points are **sharded** round-robin into one deque per worker, so a
+  healthy sweep keeps cache-friendly locality and a deterministic
+  assignment;
+* a worker that drains its shard **steals from the richest shard's
+  tail** -- the classic Cilk/TBB discipline: the thief takes the work
+  its victim would reach *last*, so stragglers shed load instead of
+  gating the sweep.  Every steal is counted and emitted as a ``steal``
+  event on the ``repro.telemetry.events`` plane;
+* everything around the scheduling -- cache/store probing, streamed
+  journal and manifest updates, bounded retries with exponential
+  backoff, per-point wall-clock timeouts (the worker is terminated and
+  respawned; only the point it held is re-attempted), crash isolation,
+  the deferred first-failure re-raise -- is the *runner's own*
+  machinery, reused through :class:`~repro.flow.runner.MapSession`.
+
+Digest discipline: a dispatched sweep must produce results
+bit-identical to a serial ``runner.map`` / ``explore_design_space``
+run; the suite and ``make serve-smoke`` both enforce it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.flow.runner import ExperimentRunner, MapSession
+
+
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: run points until told to stop.
+
+    Messages in: ``("run", i, fn, point)`` or ``("stop",)``.  Messages
+    out mirror the runner's one-shot worker protocol: ``("ok", i,
+    seconds, result, events)`` on success, ``("error", i, seconds, exc,
+    summary, traceback_text, events)`` on an exception (with ``exc``
+    downgraded to None when it does not pickle).  Telemetry events the
+    point emits are collected and shipped back with the result, exactly
+    like :func:`repro.flow.runner._pipe_worker`.
+    """
+    from repro.telemetry import events as _events
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if not isinstance(msg, tuple) or not msg or msg[0] == "stop":
+            try:
+                conn.close()
+            except Exception:
+                pass
+            return
+        _, i, fn, point = msg
+        collector = _events.install_sink(_events.EventCollector())
+        t0 = time.perf_counter()
+        try:
+            result = fn(point)
+            conn.send(("ok", i, time.perf_counter() - t0, result,
+                       collector.records))
+        except BaseException as exc:  # noqa: BLE001 -- report, parent decides
+            seconds = time.perf_counter() - t0
+            summary = f"{type(exc).__name__}: {exc}"
+            tb = traceback.format_exc()
+            try:
+                conn.send(("error", i, seconds, exc, summary, tb,
+                           collector.records))
+            except Exception:
+                try:
+                    conn.send(("error", i, seconds, None, summary, tb,
+                               collector.records))
+                except Exception:
+                    return
+        finally:
+            _events.remove_sink(collector)
+
+
+class _Worker:
+    """One long-lived worker process plus its pipe and current task."""
+
+    def __init__(self, ctx, slot: int) -> None:
+        self.slot = slot
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child,), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        self.task: Optional["tuple[int, int]"] = None  # (index, attempt)
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def assign(self, fn: Callable, point: Any, i: int, attempt: int) -> None:
+        self.task = (i, attempt)
+        self.started = time.monotonic()
+        self.conn.send(("run", i, fn, point))
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.join(1.0)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(1.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join()
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.terminate()
+        self.proc.join(1.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join()
+
+
+class WorkStealingDispatcher:
+    """Shard a batch over long-lived workers; steal from stragglers.
+
+    Drop-in for an :class:`ExperimentRunner` wherever a ``runner`` is
+    accepted (``explore_design_space(runner=...)``,
+    ``load_sweep(runner=...)``): it exposes the same :meth:`map`
+    contract -- results in input order, caching, retries, timeouts,
+    journal, ``last_manifests`` -- because the bookkeeping *is* the
+    runner's, via :class:`~repro.flow.runner.MapSession`.
+
+    Parameters: ``runner`` supplies configuration and owns the
+    cache/store/journal; ``workers`` is the pool width (defaults to
+    ``max(2, runner.jobs)``).  Counters: ``steals`` (work taken from
+    another shard), ``dispatched`` (tasks sent to workers),
+    ``worker_restarts`` (workers respawned after a crash or timeout).
+    """
+
+    def __init__(
+        self, runner: ExperimentRunner, workers: Optional[int] = None
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.runner = runner
+        self.workers = workers if workers is not None else max(2, runner.jobs)
+        self.steals = 0
+        self.dispatched = 0
+        self.worker_restarts = 0
+
+    # Delegate the runner surface callers poke at after a sweep.
+    @property
+    def failures(self):
+        return self.runner.failures
+
+    @property
+    def last_manifests(self):
+        return self.runner.last_manifests
+
+    def render_report(self, title: str = "work-stealing dispatcher") -> str:
+        lines = [
+            self.runner.render_report(title),
+            f"  dispatch: workers={self.workers} steals={self.steals} "
+            f"dispatched={self.dispatched} restarts={self.worker_restarts}",
+        ]
+        return "\n".join(lines)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any],
+        label: str = "point",
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        on_failure: Optional[str] = None,
+        resume: Optional[bool] = None,
+    ) -> List[Any]:
+        """``runner.map`` semantics under work-stealing scheduling."""
+        session = MapSession(
+            self.runner, fn, points, label,
+            timeout=timeout, retries=retries,
+            on_failure=on_failure, resume=resume,
+        )
+        session.start()
+        try:
+            if session.pending:
+                self._run_stealing(session)
+            session.emit_run_end()
+        finally:
+            session.close()
+        return session.finalize()
+
+    # -- scheduling -------------------------------------------------------
+    def _run_stealing(self, session: MapSession) -> None:
+        from multiprocessing.connection import wait as _connection_wait
+
+        from repro.telemetry import events as _events
+
+        runner = self.runner
+        n_workers = min(self.workers, len(session.pending)) or 1
+        ctx = multiprocessing.get_context()
+
+        # Round-robin sharding: worker w owns pending[w::n_workers].
+        shards: List[deque] = [deque() for _ in range(n_workers)]
+        for rank, i in enumerate(session.pending):
+            shards[rank % n_workers].append((i, 1))
+        delayed: List["tuple[float, int, int]"] = []  # (not_before, i, attempt)
+        pool = [_Worker(ctx, slot) for slot in range(n_workers)]
+        outstanding = len(session.pending)
+
+        def next_task(slot: int) -> Optional["tuple[int, int]"]:
+            """Own shard first; otherwise steal from the richest."""
+            if shards[slot]:
+                return shards[slot].popleft()
+            victim = max(
+                range(n_workers), key=lambda v: len(shards[v]), default=None
+            )
+            if victim is None or not shards[victim]:
+                return None
+            task = shards[victim].pop()  # tail: the victim's furthest work
+            self.steals += 1
+            _events.emit(
+                "steal", label=f"{session.label}[{task[0]}]",
+                key=session.keys[task[0]], thief=slot, victim=victim,
+            )
+            return task
+
+        def feed(worker: _Worker) -> _Worker:
+            task = next_task(worker.slot)
+            if task is None:
+                return worker
+            i, attempt = task
+            try:
+                worker.assign(session.fn, session.points[i], i, attempt)
+            except (OSError, ValueError):
+                # The worker died while idle: respawn the slot and put
+                # the task back where it came from.
+                worker.kill()
+                worker = pool[worker.slot] = _Worker(ctx, worker.slot)
+                self.worker_restarts += 1
+                shards[worker.slot].appendleft((i, attempt))
+                return worker
+            self.dispatched += 1
+            _events.emit(
+                "point_start", label=f"{session.label}[{i}]",
+                key=session.keys[i], attempt=attempt,
+            )
+            return worker
+
+        def attempt_failed(i: int, attempt: int, seconds: float, kind: str,
+                           message: str, exc, tb: str) -> None:
+            nonlocal outstanding
+            if session.attempt_failed(i, attempt, seconds, kind, message,
+                                      exc, tb):
+                not_before = (
+                    time.monotonic() + runner.backoff * (2 ** (attempt - 1))
+                )
+                delayed.append((not_before, i, attempt + 1))
+            else:
+                outstanding -= 1
+
+        try:
+            while outstanding > 0:
+                now = time.monotonic()
+                if delayed:
+                    due = [d for d in delayed if d[0] <= now]
+                    delayed = [d for d in delayed if d[0] > now]
+                    for _, i, attempt in sorted(due, key=lambda d: d[1]):
+                        # Re-attempts go back to the owning shard's head
+                        # so any idle worker picks them up promptly.
+                        shards[session.pending.index(i) % n_workers].appendleft(
+                            (i, attempt)
+                        )
+                for worker in pool:
+                    if not worker.busy:
+                        feed(worker)
+
+                busy = [w for w in pool if w.busy]
+                if not busy:
+                    if delayed:
+                        time.sleep(max(
+                            0.0,
+                            min(d[0] for d in delayed) - time.monotonic(),
+                        ))
+                        continue
+                    break  # nothing running, nothing queued: done or stuck
+
+                wait_for = 0.2
+                now = time.monotonic()
+                if session.timeout is not None:
+                    nearest = min(w.started + session.timeout for w in busy)
+                    wait_for = min(wait_for, max(0.0, nearest - now))
+                if delayed:
+                    wait_for = min(
+                        wait_for, max(0.0, min(d[0] for d in delayed) - now)
+                    )
+                ready = _connection_wait(
+                    [w.conn for w in busy], timeout=wait_for
+                )
+                by_conn = {w.conn: w for w in busy}
+
+                for conn in ready:
+                    worker = by_conn[conn]
+                    i, attempt = worker.task  # type: ignore[misc]
+                    seconds = time.monotonic() - worker.started
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    worker.task = None
+                    if msg is None:
+                        # The worker died mid-point: respawn the slot,
+                        # charge only the point it held.
+                        worker.proc.join(1.0)  # reap, so exitcode is real
+                        code = worker.proc.exitcode
+                        worker.kill()
+                        pool[worker.slot] = _Worker(ctx, worker.slot)
+                        self.worker_restarts += 1
+                        attempt_failed(
+                            i, attempt, seconds, "crash",
+                            f"worker died without reporting (exitcode {code})",
+                            None, "",
+                        )
+                    elif msg[0] == "ok":
+                        _, ri, fn_seconds, result, wevents = msg
+                        _events.forward(wevents)
+                        session.finish_ok(ri, attempt, fn_seconds, result)
+                        outstanding -= 1
+                    else:
+                        _, ri, fn_seconds, exc, summary, tb, wevents = msg
+                        _events.forward(wevents)
+                        attempt_failed(
+                            ri, attempt, fn_seconds, "error", summary, exc, tb
+                        )
+
+                if session.timeout is None:
+                    continue
+                now = time.monotonic()
+                for worker in pool:
+                    if not worker.busy or now - worker.started < session.timeout:
+                        continue
+                    i, attempt = worker.task  # type: ignore[misc]
+                    worker.task = None
+                    worker.kill()
+                    pool[worker.slot] = _Worker(ctx, worker.slot)
+                    self.worker_restarts += 1
+                    attempt_failed(
+                        i, attempt, now - worker.started, "timeout",
+                        f"exceeded {session.timeout:g}s wall-clock limit",
+                        None, "",
+                    )
+        finally:
+            for worker in pool:
+                worker.stop()

@@ -1,0 +1,377 @@
+"""Design-space queries over the shared result store.
+
+The paper's concluding claim -- xpipes Lite "allows faster & more
+accurate design space exploration" -- as a *service* contract: a query
+names an application (core graph), a candidate slice of the design
+space and constraints/objective, and the engine answers it from the
+content-addressed store when every point is already known (microseconds
+-- no simulation, no synthesis models re-run), or evaluates exactly the
+missing points through the work-stealing farm when not.
+
+The key discipline is what makes this sound: a query expands to the
+*same* ``(core_graph, fabric, width, depth, ...)`` combo tuples --
+and therefore the same :func:`~repro.flow.runner.stable_repr` cache
+keys -- that :func:`repro.flow.dse.explore_design_space` produces, so
+the store populated by any past sweep, on any host, answers queries
+here, and a query evaluated here accelerates everyone's next sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.flow.dse import (
+    DesignPoint,
+    _evaluate_design_point,
+    pareto_frontier,
+    render_space,
+)
+from repro.flow.runner import ExperimentRunner
+from repro.flow.taskgraph import CoreGraph, demo_multimedia_soc, demo_telecom_soc
+from repro.network.topology import (
+    Topology,
+    fat_tree,
+    fully_connected,
+    hypercube,
+    mesh,
+    ring,
+    spidergon,
+    star,
+    torus,
+)
+from repro.store import ResultStore
+
+
+class QueryError(ValueError):
+    """A malformed or unanswerable design-space query."""
+
+
+#: Applications a query can name ("under this traffic").
+CORE_GRAPHS = {
+    "multimedia": lambda: demo_multimedia_soc()[2],
+    "telecom": lambda: demo_telecom_soc()[2],
+}
+
+#: Objectives a query can optimize; each maps a DesignPoint to a cost.
+OBJECTIVES = {
+    "area": lambda p: p.area_mm2,  # "cheapest"
+    "power": lambda p: p.power_mw,
+    "latency": lambda p: p.latency_ns,
+}
+
+_GRID_FAMILIES = {"mesh": mesh, "torus": torus}
+_COUNT_FAMILIES = {
+    "ring": ring,
+    "star": star,
+    "spidergon": spidergon,
+    "hypercube": hypercube,
+    "fully_connected": fully_connected,
+    "fat_tree": fat_tree,
+}
+
+
+def topology_from_name(name: str) -> Topology:
+    """``"mesh-5x5"`` / ``"torus-3x3"`` / ``"star-4"`` /
+    ``"hypercube-3"`` ... -> a fresh :class:`Topology`.
+
+    Grid families take ``WxH``; the rest take one count.  The factory
+    is what keys the cache (Topology.cache_token), so two queries
+    naming the same topology hit the same records.
+    """
+    if not isinstance(name, str) or "-" not in name:
+        raise QueryError(
+            f"topology {name!r}: expected '<family>-<size>', e.g. 'mesh-5x5' "
+            f"or 'star-4'"
+        )
+    family, _, size = name.partition("-")
+    try:
+        if family in _GRID_FAMILIES:
+            w, _, h = size.partition("x")
+            return _GRID_FAMILIES[family](int(w), int(h))
+        if family in _COUNT_FAMILIES:
+            return _COUNT_FAMILIES[family](int(size))
+    except (ValueError, TypeError) as exc:
+        raise QueryError(f"topology {name!r}: {exc}") from None
+    raise QueryError(
+        f"topology {name!r}: unknown family {family!r} (know "
+        f"{sorted(_GRID_FAMILIES | _COUNT_FAMILIES.keys())})"
+    )
+
+
+def core_graph_from_name(name: str) -> CoreGraph:
+    try:
+        return CORE_GRAPHS[name]()
+    except KeyError:
+        raise QueryError(
+            f"core graph {name!r}: know {sorted(CORE_GRAPHS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One design-space question, normalized.
+
+    The sweep slice (``topologies`` x ``flit_widths`` x
+    ``buffer_depths`` under ``core_graph``/``seed``/... ) defines which
+    points are consulted; the constraints (``min_freq_mhz``,
+    ``max_latency_ns``, ``max_area_mm2``, ``max_power_mw``) filter
+    them; ``objective`` picks the winner among survivors.  "Cheapest
+    5x5 config >= 800 MHz under multimedia traffic" is
+    ``QuerySpec(core_graph="multimedia", topologies=("mesh-5x5",),
+    min_freq_mhz=800, objective="area")``.
+    """
+
+    core_graph: str = "multimedia"
+    topologies: Tuple[str, ...] = ("mesh-2x2",)
+    flit_widths: Tuple[int, ...] = (16, 32, 64)
+    buffer_depths: Tuple[int, ...] = (4, 6)
+    target_freq_mhz: float = 1000.0
+    max_radix: int = 8
+    seed: int = 0
+    anneal_iterations: int = 600
+    min_freq_mhz: float = 0.0
+    max_latency_ns: Optional[float] = None
+    max_area_mm2: Optional[float] = None
+    max_power_mw: Optional[float] = None
+    objective: str = "area"
+
+    def __post_init__(self) -> None:
+        if self.core_graph not in CORE_GRAPHS:
+            raise QueryError(
+                f"core graph {self.core_graph!r}: know {sorted(CORE_GRAPHS)}"
+            )
+        if not self.topologies:
+            raise QueryError("query needs at least one topology")
+        for name in self.topologies:
+            topology_from_name(name)  # validates eagerly
+        if not self.flit_widths or not self.buffer_depths:
+            raise QueryError("query needs flit_widths and buffer_depths")
+        if self.objective not in OBJECTIVES:
+            raise QueryError(
+                f"objective {self.objective!r}: know {sorted(OBJECTIVES)}"
+            )
+
+    def meets_constraints(self, p: DesignPoint) -> bool:
+        if not p.feasible:
+            return False
+        if p.freq_mhz < self.min_freq_mhz:
+            return False
+        if self.max_latency_ns is not None and p.latency_ns > self.max_latency_ns:
+            return False
+        if self.max_area_mm2 is not None and p.area_mm2 > self.max_area_mm2:
+            return False
+        if self.max_power_mw is not None and p.power_mw > self.max_power_mw:
+            return False
+        return True
+
+
+_TUPLE_FIELDS = {"topologies", "flit_widths", "buffer_depths"}
+
+
+def parse_query(doc: Any) -> QuerySpec:
+    """A JSON request body -> :class:`QuerySpec`, with named errors."""
+    if not isinstance(doc, dict):
+        raise QueryError(f"query must be a JSON object, got {type(doc).__name__}")
+    known = {f.name for f in dataclasses.fields(QuerySpec)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise QueryError(f"unknown query fields {unknown}; know {sorted(known)}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in doc.items():
+        if name in _TUPLE_FIELDS:
+            if isinstance(value, (str, int)):
+                value = (value,)
+            elif isinstance(value, list):
+                value = tuple(value)
+            else:
+                raise QueryError(f"{name} must be a list, got {value!r}")
+        kwargs[name] = value
+    try:
+        return QuerySpec(**kwargs)
+    except TypeError as exc:
+        raise QueryError(str(exc)) from None
+
+
+def point_as_dict(p: DesignPoint) -> Dict[str, Any]:
+    return dataclasses.asdict(p)
+
+
+@dataclass
+class QueryResult:
+    """One answered query: the winner, the frontier, and provenance."""
+
+    spec: QuerySpec
+    points: List[DesignPoint]
+    best: Optional[DesignPoint]
+    frontier: List[DesignPoint]
+    store_hits: int
+    store_misses: int
+    served_from: str  # "store" (pure hit) or "farm" (misses computed)
+    seconds: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "query": dataclasses.asdict(self.spec),
+            "best": None if self.best is None else point_as_dict(self.best),
+            "frontier": [point_as_dict(p) for p in self.frontier],
+            "points": [point_as_dict(p) for p in self.points],
+            "feasible": sum(
+                1 for p in self.points if self.spec.meets_constraints(p)
+            ),
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "served_from": self.served_from,
+            "seconds": round(self.seconds, 6),
+        }
+
+    def render(self) -> str:
+        table = render_space(
+            self.points, self.frontier,
+            title=f"query over {self.spec.core_graph}",
+        )
+        if self.best is None:
+            verdict = "no feasible point meets the constraints"
+        else:
+            verdict = f"best ({self.spec.objective}): {self.best.row().strip()}"
+        return (
+            f"{table}\n{verdict}\n"
+            f"served from {self.served_from}: {self.store_hits} hit(s), "
+            f"{self.store_misses} miss(es), {self.seconds * 1e3:.1f} ms"
+        )
+
+
+class QueryEngine:
+    """Answer :class:`QuerySpec` questions over one shared store.
+
+    Pure-hit queries never touch a simulator or synthesis model: every
+    point is read (and sha256-verified) straight out of the
+    :class:`~repro.store.ResultStore`.  Queries with missing points go
+    through an :class:`~repro.flow.runner.ExperimentRunner` bound to
+    the store -- under a :class:`~repro.serve.WorkStealingDispatcher`
+    when ``workers > 1`` -- so the misses are computed once, published,
+    and journaled like any sweep.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        salt: str = "",
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self.store = store
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.salt = salt
+        self.metrics = metrics
+        self.queries = 0
+        self.farm_queries = 0
+
+    def _count(self, name: str, by: int = 1) -> None:
+        if self.metrics is not None and by:
+            self.metrics.counter(f"serve.{name}").inc(by)
+
+    def make_runner(self, events_path: Optional[str] = None) -> ExperimentRunner:
+        return ExperimentRunner(
+            store=self.store,
+            salt=self.salt,
+            timeout=self.timeout,
+            retries=self.retries,
+            metrics=self.metrics,
+            events_path=events_path,
+        )
+
+    # -- key discipline ---------------------------------------------------
+    def combos(self, spec: QuerySpec) -> List[tuple]:
+        """The exact combo tuples ``explore_design_space`` would build
+        for this slice -- combo order and content must match, or the
+        keys diverge and the store stops being shared."""
+        core_graph = core_graph_from_name(spec.core_graph)
+        fabrics = [topology_from_name(name) for name in spec.topologies]
+        return [
+            (core_graph, fabric, width, depth, spec.target_freq_mhz,
+             spec.max_radix, spec.seed, spec.anneal_iterations)
+            for fabric in fabrics
+            for width in spec.flit_widths
+            for depth in spec.buffer_depths
+        ]
+
+    def keys(self, spec: QuerySpec) -> List[str]:
+        keyer = self.make_runner()
+        return [keyer._key(_evaluate_design_point, c) for c in self.combos(spec)]
+
+    # -- answering --------------------------------------------------------
+    def lookup(
+        self, spec: QuerySpec
+    ) -> Tuple[List[Optional[DesignPoint]], List[int]]:
+        """Probe the store only: ``(points, missing_indices)`` where
+        ``points[i]`` is None exactly for the missing indices."""
+        points: List[Optional[DesignPoint]] = []
+        missing: List[int] = []
+        for i, key in enumerate(self.keys(spec)):
+            hit, value = self.store.get(key)
+            points.append(value if hit else None)
+            if not hit:
+                missing.append(i)
+        return points, missing
+
+    def query(
+        self,
+        spec: QuerySpec,
+        evaluate: bool = True,
+        events_path: Optional[str] = None,
+    ) -> QueryResult:
+        """Answer ``spec``.  With ``evaluate=False`` a query with
+        missing points raises :class:`QueryError` instead of computing
+        (the HTTP layer uses this for its admission-control decision)."""
+        t0 = time.perf_counter()
+        self.queries += 1
+        self._count("queries")
+        points, missing = self.lookup(spec)
+        self._count("query_store_hits", len(points) - len(missing))
+        self._count("query_store_misses", len(missing))
+        served_from = "store"
+        if missing:
+            if not evaluate:
+                raise QueryError(
+                    f"{len(missing)} of {len(points)} points are not in the "
+                    f"store and evaluate=False"
+                )
+            served_from = "farm"
+            self.farm_queries += 1
+            self._count("farm_queries")
+            runner = self.make_runner(events_path=events_path)
+            mapper: Any = runner
+            if self.workers > 1:
+                from repro.serve.dispatch import WorkStealingDispatcher
+
+                mapper = WorkStealingDispatcher(runner, workers=self.workers)
+            combos = self.combos(spec)
+            computed = mapper.map(
+                _evaluate_design_point,
+                [combos[i] for i in missing],
+                label="query",
+            )
+            for i, p in zip(missing, computed):
+                points[i] = p
+            self._count("points_computed", len(missing))
+        final: List[DesignPoint] = [p for p in points if p is not None]
+        candidates = [p for p in final if spec.meets_constraints(p)]
+        cost = OBJECTIVES[spec.objective]
+        best = min(candidates, key=cost) if candidates else None
+        return QueryResult(
+            spec=spec,
+            points=final,
+            best=best,
+            frontier=pareto_frontier(final),
+            store_hits=len(points) - len(missing),
+            store_misses=len(missing),
+            served_from=served_from,
+            seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,30 @@
+"""Content-addressed result store: the DSE service's shared memory.
+
+The :class:`ExperimentRunner` cache (PR 1/5) memoizes per-point results
+as bare pickles in a private directory.  That is enough for one host
+re-generating its own figures, but the design-space service
+(``python -m repro serve``, docs/SERVICE.md) needs a *shared* tier:
+many dispatchers and one HTTP front end reading and writing the same
+directory, possibly over a network filesystem, with no way to tell a
+half-written file from a result and no inventory of what is in there.
+
+:class:`ResultStore` is that tier -- see :mod:`repro.store.cas` for the
+on-disk format (sha256-verified records, atomic publishes, an
+append-only manifest index, garbage collection and compaction).
+"""
+
+from repro.store.cas import (
+    MANIFEST_BASENAME,
+    STORE_SCHEMA,
+    ResultStore,
+    StoreError,
+    StoreRecord,
+)
+
+__all__ = [
+    "MANIFEST_BASENAME",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoreError",
+    "StoreRecord",
+]

@@ -35,6 +35,9 @@ Event vocabulary (the spans of a campaign):
                 ``key``, ``attempt``
 ``retry``       an attempt failed and will be retried: ``label``,
                 ``key``, ``attempt``, ``kind``, ``message``
+``steal``       a work-stealing dispatcher worker ran dry and took a
+                point from another worker's shard: ``label``, ``key``,
+                ``thief``, ``victim`` (worker slots)
 ``point_end``   a point finished: ``label``, ``key``, ``status``
                 (``ok``/``failed``), ``seconds``, ``attempts``,
                 ``cached`` (True for cache hits, which skip
@@ -62,6 +65,7 @@ EVENT_TYPES = (
     "run_start",
     "point_start",
     "retry",
+    "steal",
     "point_end",
     "checkpoint",
     "lane_batch",
@@ -300,6 +304,7 @@ def replay_summary(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "failed": 0,
         "cached": 0,
         "retries": 0,
+        "steals": 0,
         "checkpoints": 0,
     }
     for rec in records:
@@ -336,6 +341,8 @@ def replay_summary(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
             entry["seconds"] = rec.get("seconds")
             key = "cached" if cached else ("ok" if status == "ok" else "failed")
             summary[key] = int(summary[key]) + 1
+        elif event == "steal":
+            summary["steals"] = int(summary["steals"]) + 1
         elif event == "checkpoint":
             summary["checkpoints"] = int(summary["checkpoints"]) + 1
         elif event == "lane_batch":

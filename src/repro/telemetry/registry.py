@@ -84,6 +84,13 @@ class GaugeMetric(_Metric):
             raise TelemetryError(f"gauge {self.name!r} is callback-backed")
         self._value = value
 
+    def inc(self, by: Union[int, float] = 1) -> None:
+        """Adjust a level gauge (in-flight requests, queue depth)."""
+        self.set(self.value + by)
+
+    def dec(self, by: Union[int, float] = 1) -> None:
+        self.set(self.value - by)
+
     @property
     def value(self) -> Union[int, float]:
         return self._fn() if self._fn is not None else self._value

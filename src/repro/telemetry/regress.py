@@ -179,12 +179,24 @@ def save_trajectory(path: str, doc: Dict[str, Any]) -> None:
 
 
 def baseline_metrics(doc: Dict[str, Any]) -> Dict[str, float]:
-    """The most recent entry's metric map (empty for a new file)."""
+    """The most recent entry's metric map (empty for a new file).
+
+    Only finite numbers survive: a hand-edited or partially-written
+    entry may hold nulls, strings or nested maps where a ratio should
+    be, and a missing tracked ratio must degrade to "not comparable",
+    never crash the diff."""
     entries = doc.get("entries") or []
     if not entries:
         return {}
     metrics = entries[-1].get("metrics") or {}
-    return {k: float(v) for k, v in metrics.items()}
+    out: Dict[str, float] = {}
+    for k, v in metrics.items():
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            continue
+        value = float(v)
+        if value == value and value not in (float("inf"), float("-inf")):
+            out[k] = value
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -272,8 +284,29 @@ def bench_diff(
             f"({len(current)} metrics) at {trajectory_path}"
         )
         return 0
-    doc = load_trajectory(trajectory_path)
+    try:
+        doc = load_trajectory(trajectory_path)
+    except (TelemetryError, ValueError, OSError) as exc:
+        # An unreadable/foreign trajectory is "no baseline", not a
+        # crash: the diff cannot gate on it, so warn and pass.
+        print(f"bench-diff: WARNING: unusable trajectory: {exc}")
+        if update:
+            doc = new_trajectory()
+            append_entry(doc, current, note=note)
+            save_trajectory(trajectory_path, doc)
+            print(
+                f"bench-diff: restarted trajectory "
+                f"({len(current)} metrics) at {trajectory_path}"
+            )
+        else:
+            print("bench-diff: OK -- nothing to compare against")
+        return 0
     baseline = baseline_metrics(doc)
+    if not baseline:
+        print(
+            f"bench-diff: WARNING: no usable baseline metrics in the "
+            f"last entry of {trajectory_path}; nothing to compare"
+        )
     regressions = diff_metrics(baseline, current, threshold)
     print(render_diff(baseline, current, regressions, threshold))
     if regressions:

@@ -1,0 +1,177 @@
+"""WorkStealingDispatcher: scheduling on top of the runner's session."""
+
+import os
+import time
+
+import pytest
+
+from repro.flow.runner import ExperimentRunner, PointFailure
+from repro.serve import WorkStealingDispatcher
+from repro.store import ResultStore
+from repro.telemetry.events import EventCollector, install_sink, remove_sink
+
+
+def _square(x):
+    """Module-level so worker processes can unpickle it."""
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"point {x} exploded")
+
+
+def _flaky(path):
+    """Fails until its marker file exists; creates it on first failure."""
+    if os.path.exists(path):
+        return "recovered"
+    open(path, "w").close()
+    raise RuntimeError("first attempt fails")
+
+
+def _hang(x):
+    time.sleep(60)
+    return x
+
+
+def _die(x):
+    os._exit(17)
+
+
+class TestMapContract:
+    def test_results_in_input_order(self):
+        runner = ExperimentRunner(jobs=2)
+        disp = WorkStealingDispatcher(runner, workers=3)
+        assert disp.map(_square, list(range(10))) == [x * x for x in range(10)]
+        assert disp.dispatched == 10
+
+    def test_matches_serial_runner_exactly(self):
+        serial = ExperimentRunner().map(_square, [3, 1, 4, 1, 5])
+        disp = WorkStealingDispatcher(ExperimentRunner(), workers=2)
+        assert disp.map(_square, [3, 1, 4, 1, 5]) == serial
+
+    def test_single_point_single_worker(self):
+        disp = WorkStealingDispatcher(ExperimentRunner(), workers=4)
+        assert disp.map(_square, [7]) == [49]
+
+    def test_empty_batch(self):
+        disp = WorkStealingDispatcher(ExperimentRunner())
+        assert disp.map(_square, []) == []
+        assert disp.dispatched == 0
+
+    def test_workers_default_and_validation(self):
+        assert WorkStealingDispatcher(ExperimentRunner()).workers == 2
+        assert WorkStealingDispatcher(ExperimentRunner(jobs=5)).workers == 5
+        with pytest.raises(ValueError, match="workers"):
+            WorkStealingDispatcher(ExperimentRunner(), workers=0)
+
+    def test_reports_and_render(self):
+        runner = ExperimentRunner()
+        disp = WorkStealingDispatcher(runner, workers=2)
+        disp.map(_square, [1, 2], label="wsd")
+        assert [r.label for r in runner.reports] == ["wsd[0]", "wsd[1]"]
+        report = disp.render_report()
+        assert "steals=" in report and "dispatched=2" in report
+
+
+class TestStoreIntegration:
+    def test_second_sweep_is_all_hits_no_dispatch(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        disp = WorkStealingDispatcher(
+            ExperimentRunner(store=store), workers=2
+        )
+        assert disp.map(_square, [2, 3, 4]) == [4, 9, 16]
+        assert disp.dispatched == 3 and len(store) == 3
+
+        runner2 = ExperimentRunner(store=ResultStore(tmp_path / "store"))
+        disp2 = WorkStealingDispatcher(runner2, workers=2)
+        assert disp2.map(_square, [2, 3, 4]) == [4, 9, 16]
+        assert runner2.cache_hits == 3 and disp2.dispatched == 0
+
+
+class TestFailureMachinery:
+    def test_exception_propagates_with_original_type(self):
+        disp = WorkStealingDispatcher(ExperimentRunner(), workers=2)
+        with pytest.raises(ValueError, match="exploded"):
+            disp.map(_boom, [1])
+
+    def test_collect_keeps_going(self):
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(runner, workers=2)
+        out = disp.map(_boom, [1, 2])
+        assert out == [None, None]
+        assert len(runner.failures) == 2
+        assert all(isinstance(f, PointFailure) for f in runner.failures)
+
+    def test_retry_recovers_flaky_point(self, tmp_path):
+        runner = ExperimentRunner(retries=1, backoff=0.01)
+        disp = WorkStealingDispatcher(runner, workers=2)
+        marker = str(tmp_path / "flaky.marker")
+        assert disp.map(_flaky, [marker]) == ["recovered"]
+        assert runner.retry_count == 1
+
+    def test_timeout_kills_and_respawns_worker(self):
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(runner, workers=2)
+        out = disp.map(_hang, [1], timeout=0.5)
+        assert out == [None]
+        assert disp.worker_restarts == 1
+        assert runner.timeout_count == 1
+        assert "wall-clock" in runner.failures[0].message
+
+    def test_worker_crash_is_charged_to_its_point_only(self):
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(runner, workers=2)
+        out = disp.map(_die, [1])
+        assert out == [None]
+        assert disp.worker_restarts >= 1 and runner.crash_count == 1
+        assert "exitcode 17" in runner.failures[0].message
+
+    def test_crash_does_not_poison_other_points(self):
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(runner, workers=2)
+
+        out = disp.map(_die_on_three, [1, 2, 3, 4, 5])
+        assert out == [1, 4, None, 16, 25]
+        assert len(runner.failures) == 1
+
+
+class TestStealing:
+    def test_steals_counted_and_emitted(self):
+        """One straggler shard forces the drained workers to steal."""
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(runner, workers=2)
+        collector = install_sink(EventCollector())
+        try:
+            # Even indices (worker 0's shard) are slow; worker 1
+            # drains its own shard and must steal from worker 0.
+            out = disp.map(_slow_even, list(range(8)))
+        finally:
+            remove_sink(collector)
+        assert out == [x * x for x in range(8)]
+        assert disp.steals >= 1
+        steal_events = [
+            r for r in collector.records if r["event"] == "steal"
+        ]
+        assert len(steal_events) == disp.steals
+        ev = steal_events[0]
+        assert {"label", "key", "thief", "victim"} <= set(ev)
+        assert ev["thief"] != ev["victim"]
+
+    def test_all_points_complete_under_stealing(self):
+        runner = ExperimentRunner()
+        disp = WorkStealingDispatcher(runner, workers=4)
+        assert disp.map(_slow_even, list(range(12))) == [
+            x * x for x in range(12)
+        ]
+
+
+def _die_on_three(x):
+    if x == 3:
+        os._exit(21)
+    return x * x
+
+
+def _slow_even(x):
+    if x % 2 == 0:
+        time.sleep(0.2)
+    return x * x

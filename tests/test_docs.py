@@ -284,3 +284,57 @@ class TestExperimentsDoc:
             text = f.read()
         for fig in [f"F{i}" for i in range(1, 11)]:
             assert f"## {fig} " in text or f"{fig} —" in text or f"{fig} --" in text, fig
+
+
+class TestServiceDoc:
+    PATH = os.path.join(ROOT, "docs", "SERVICE.md")
+
+    def test_exists_and_is_cross_linked(self):
+        assert os.path.exists(self.PATH)
+        for doc in (
+            "README.md",
+            os.path.join("docs", "OBSERVABILITY.md"),
+            os.path.join("docs", "CHECKPOINT.md"),
+        ):
+            with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+                assert "SERVICE.md" in f.read(), f"{doc} must link the guide"
+
+    def test_covers_the_contract(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        for term in (
+            # the store: layout, keys, verification, maintenance
+            "repro.store/v1", "STORE.json", "manifest.jsonl",
+            ".rec", "*.corrupt", "sha256", "CACHE_VERSION",
+            "stable_repr", "os.replace", "last-write-wins",
+            "conflicts", "compact()", "gc(", "StoreError",
+            "functools.partial",
+            # the dispatcher
+            "WorkStealingDispatcher", "MapSession", "round-robin",
+            "steals", "worker_restarts", "digest-identical",
+            "`steal` event", "thief", "victim",
+            # the HTTP service
+            "python -m repro serve", "--port 0", "--max-inflight",
+            "POST /query", "GET /healthz", "GET /metrics",
+            "/jobs/", "since=", "429", "202", "curl",
+            "to_prometheus", "events.jsonl",
+            "repro.telemetry.events/v1", "serve.inflight",
+            # the query grammar
+            "QuerySpec", "parse_query", "QueryEngine",
+            "mesh-5x5", "min_freq_mhz", "objective",
+            "served_from", "wait",
+            # smoke coverage
+            "serve-smoke", "bench-smoke",
+        ):
+            assert term in text, term
+
+    def test_has_the_store_layout_and_endpoint_table(self):
+        with open(self.PATH, encoding="utf-8") as f:
+            text = f.read()
+        assert "objects/" in text and "| endpoint |" in text
+
+    def test_every_python_block_runs(self):
+        blocks = extract_python_blocks(self.PATH)
+        assert len(blocks) >= 3, "the guide promises runnable snippets"
+        for i, block in enumerate(blocks):
+            exec(compile(block, f"SERVICE-snippet-{i}", "exec"), {})

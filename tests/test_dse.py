@@ -95,3 +95,40 @@ class TestFrontier:
         text = render_space(points, frontier, "test space")
         assert "test space" in text
         assert text.count("*") == len(frontier)
+
+
+class TestValueIdentity:
+    """The frontier must compare points by value, never ``id()``.
+
+    Points restored from the result store, a cache pickle or a worker
+    process are equal to -- but not the same object as -- the originals;
+    identity-based marking silently declared every restored point
+    off-frontier."""
+
+    def test_pickle_round_trip_preserves_frontier(self, points):
+        import pickle
+
+        restored = pickle.loads(pickle.dumps(points))
+        assert restored == points
+        assert all(a is not b for a, b in zip(restored, points))
+        assert pareto_frontier(restored) == pareto_frontier(points)
+
+    def test_restored_points_earn_their_frontier_marker(self, points):
+        import pickle
+
+        frontier = pareto_frontier(points)
+        restored_frontier = pickle.loads(pickle.dumps(frontier))
+        text = render_space(points, restored_frontier, "restored")
+        assert text.count("*") == len(frontier)
+
+    def test_value_duplicates_collapse_to_one_frontier_entry(self):
+        a, b = dp(1, 1, 1), dp(1, 1, 1)
+        assert a is not b
+        assert pareto_frontier([a, b]) == [a]
+
+    def test_equal_points_are_mutually_nondominating(self):
+        a, b = dp(1, 1, 1), dp(1, 1, 1)
+        assert not a.dominates(b) and not b.dominates(a)
+        # ...and neither knocks the other off a mixed frontier.
+        frontier = pareto_frontier([a, b, dp(2, 2, 2)])
+        assert frontier == [dp(1, 1, 1)]

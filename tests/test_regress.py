@@ -218,3 +218,70 @@ class TestCli:
         assert "repro top --" in out
         assert "1 ok" in out
         assert "repro_top_points_ok 1" in open(prom, encoding="utf-8").read()
+
+
+class TestDegradedBaselines:
+    """A damaged or partial trajectory is "no baseline", never a crash
+    -- bench-diff warns and exits 0 so a perf gate cannot wedge a build
+    on bookkeeping damage."""
+
+    def write(self, tmp_path, doc):
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps(doc) if isinstance(doc, dict) else doc)
+        return str(path)
+
+    def test_single_entry_with_null_ratio_passes(self, tmp_path, capsys):
+        path = self.write(tmp_path, {
+            "schema": REGRESS_SCHEMA,
+            "entries": [{"metrics": {
+                "s1_compiled_over_fast_standard": None,
+                "s4_per_replica_speedup": "not-a-number",
+            }}],
+        })
+        assert bench_diff(RESULTS, path) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out and "no usable baseline" in out
+
+    def test_missing_tracked_ratio_is_not_comparable(self, tmp_path, capsys):
+        path = self.write(tmp_path, {
+            "schema": REGRESS_SCHEMA,
+            "entries": [{"metrics": {"some_retired_metric": 1.0}}],
+        })
+        assert bench_diff(RESULTS, path) == 0
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_corrupt_json_warns_and_passes(self, tmp_path, capsys):
+        path = self.write(tmp_path, "{torn")
+        assert bench_diff(RESULTS, path) == 0
+        assert "unusable trajectory" in capsys.readouterr().out
+
+    def test_foreign_schema_warns_and_passes(self, tmp_path, capsys):
+        path = self.write(tmp_path, {"schema": "other/v9", "entries": []})
+        assert bench_diff(RESULTS, path) == 0
+        assert "unusable trajectory" in capsys.readouterr().out
+
+    def test_update_restarts_an_unusable_trajectory(self, tmp_path):
+        path = self.write(tmp_path, "{torn")
+        assert bench_diff(RESULTS, path, update=True) == 0
+        doc = load_trajectory(path)  # readable again
+        assert len(doc["entries"]) == 1
+
+    def test_missing_file_still_exits_2(self, tmp_path):
+        assert bench_diff(RESULTS, str(tmp_path / "none.json")) == 2
+
+    def test_baseline_metrics_filters_non_numbers(self):
+        doc = new_trajectory()
+        append_entry(doc, {})
+        doc["entries"][-1]["metrics"] = {
+            "ok": 2.0, "null": None, "text": "x", "flag": True,
+            "inf": float("inf"), "nan": float("nan"), "int": 3,
+        }
+        assert baseline_metrics(doc) == {"ok": 2.0, "int": 3.0}
+
+    def test_cli_survives_single_entry_null_metrics(self, tmp_path, capsys):
+        path = self.write(tmp_path, {
+            "schema": REGRESS_SCHEMA,
+            "entries": [{"metrics": {"s1_compiled_over_fast_standard": None}}],
+        })
+        assert cli_main(["bench-diff", "--trajectory", path]) == 0
+        assert "WARNING" in capsys.readouterr().out

@@ -227,3 +227,55 @@ class TestStableRepr:
         k1 = ExperimentRunner()._key(_square, 3)
         k2 = ExperimentRunner(salt="s")._key(_square, 3)
         assert k1 != k2
+
+
+def _make_adder(n):
+    def add(x):
+        return x + n
+
+    return add
+
+
+class TestKeyableGuard:
+    """Cached runs must refuse functions whose stable_repr collides."""
+
+    def test_closures_with_different_cells_share_a_key(self):
+        """The collision the guard exists for: stable_repr hashes
+        callables by qualname, so these two semantically different
+        functions would silently share every cache record."""
+        runner = ExperimentRunner()
+        add1, add2 = _make_adder(1), _make_adder(1000)
+        assert add1(1) != add2(1)
+        assert stable_repr(add1) == stable_repr(add2)
+        assert runner._key(add1, 5) == runner._key(add2, 5)
+
+    def test_lambda_rejected_when_caching(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="lambda"):
+            runner.map(lambda x: x, [1])
+
+    def test_closure_rejected_when_caching(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="closure"):
+            runner.map(_make_adder(3), [1])
+
+    def test_closure_rejected_when_storing(self, tmp_path):
+        from repro.store import ResultStore
+
+        runner = ExperimentRunner(store=ResultStore(tmp_path / "store"))
+        with pytest.raises(ValueError, match="captured"):
+            runner.map(_make_adder(3), [1])
+
+    def test_partial_over_named_function_is_fine(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"))
+        assert runner.map(functools.partial(_square), [3]) == [9]
+
+    def test_partial_over_lambda_still_rejected(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=str(tmp_path / "cache"))
+        with pytest.raises(ValueError, match="lambda"):
+            runner.map(functools.partial(lambda x: x), [1])
+
+    def test_uncached_runner_still_accepts_lambdas(self):
+        """Without a cache the key is only a reporting label; refusing
+        lambdas there would break exploratory use for no protection."""
+        assert ExperimentRunner().map(lambda x: x + 1, [1, 2]) == [2, 3]

@@ -1,0 +1,353 @@
+"""ResultStore: self-verifying records, quarantine, concurrency."""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.flow.runner import ExperimentRunner
+from repro.store import (
+    MANIFEST_BASENAME,
+    STORE_SCHEMA,
+    ResultStore,
+    StoreError,
+    StoreRecord,
+)
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def _square(x):
+    """Module-level so worker processes can unpickle it."""
+    return x * x
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        record = store.put(KEY_A, {"latency": 12.5}, label="p0")
+        assert record.key == KEY_A and record.size > 0
+        hit, value = store.get(KEY_A)
+        assert hit and value == {"latency": 12.5}
+        assert store.hits == 1 and store.puts == 1
+
+    def test_miss_is_counted(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        hit, value = store.get(KEY_A)
+        assert not hit and value is None
+        assert store.misses == 1
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert KEY_A not in store and len(store) == 0
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        assert KEY_A in store and KEY_C not in store
+        assert len(store) == 2 and list(store.keys()) == [KEY_A, KEY_B]
+
+    def test_identical_republish_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = store.put(KEY_A, [1, 2])
+        again = store.put(KEY_A, [1, 2])
+        assert again == first  # same header, no second manifest line
+        assert store.puts == 1 and store.conflicts == 0
+        manifest = (tmp_path / "store" / MANIFEST_BASENAME).read_text()
+        assert manifest.count(KEY_A) == 1
+
+    def test_divergent_republish_wins_and_counts_conflict(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, "old")
+        store.put(KEY_A, "new")
+        assert store.conflicts == 1
+        assert store.get(KEY_A) == (True, "new")
+
+    def test_record_header_without_payload(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, list(range(100)), label="sweep")
+        record = store.record(KEY_A)
+        assert isinstance(record, StoreRecord)
+        assert record.label == "sweep"
+        assert record.digest == hashlib.sha256(
+            pickle.dumps(list(range(100)))
+        ).hexdigest()
+        assert store.hits == 0  # header peeks don't count as reads
+
+    def test_reopening_sees_existing_records(self, tmp_path):
+        ResultStore(tmp_path / "store").put(KEY_A, "persisted")
+        store = ResultStore(tmp_path / "store")
+        assert store.get(KEY_A) == (True, "persisted")
+
+
+class TestKeysAndMarkers:
+    @pytest.mark.parametrize(
+        "bad", ["", "short", "Z" * 64, "a" * 63, "../" + "a" * 61, 7, None]
+    )
+    def test_rejects_non_sha256_keys(self, tmp_path, bad):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="sha256"):
+            store.put(bad, 1)
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        (tmp_path / "store").mkdir()
+        (tmp_path / "store" / "STORE.json").write_text('{"schema": "x/v9"}')
+        with pytest.raises(StoreError, match=STORE_SCHEMA):
+            ResultStore(tmp_path / "store")
+
+    def test_schema_marker_written(self, tmp_path):
+        ResultStore(tmp_path / "store")
+        doc = json.loads((tmp_path / "store" / "STORE.json").read_text())
+        assert doc == {"schema": STORE_SCHEMA}
+
+
+class TestQuarantine:
+    def _flip_payload_byte(self, store, key):
+        path = store.record_path(key)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        return path
+
+    def test_corrupt_payload_quarantined_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, {"x": 1})
+        path = self._flip_payload_byte(store, KEY_A)
+        hit, value = store.get(KEY_A)
+        assert not hit and value is None
+        assert store.corrupt_records == 1
+        assert not os.path.exists(path)
+        assert os.path.exists(path[: -len(".rec")] + ".corrupt")
+
+    def test_truncated_record_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, list(range(1000)))
+        path = store.record_path(KEY_A)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        assert store.get(KEY_A) == (False, None)
+        assert store.corrupt_records == 1
+
+    def test_bad_magic_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        open(store.record_path(KEY_A), "wb").write(b"not a record at all")
+        assert store.get(KEY_A) == (False, None)
+        assert store.corrupt_records == 1
+
+    def test_republish_after_quarantine_serves_cleanly(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, "good")
+        self._flip_payload_byte(store, KEY_A)
+        assert store.get(KEY_A) == (False, None)
+        store.put(KEY_A, "good")
+        assert store.get(KEY_A) == (True, "good")
+        corrupt = store.record_path(KEY_A)[: -len(".rec")] + ".corrupt"
+        assert os.path.exists(corrupt)  # evidence survives the recovery
+
+
+class TestManifestAndGc:
+    def test_manifest_tracks_latest_entry_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        store.put(KEY_A, 2)  # conflict rewrite
+        store.put(KEY_B, 3)
+        entries = store.manifest_entries()
+        assert set(entries) == {KEY_A, KEY_B}
+        assert entries[KEY_A]["digest"] == store.record(KEY_A).digest
+
+    def test_manifest_tolerates_torn_tail(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        with open(store.manifest_path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn')
+        assert set(store.manifest_entries()) == {KEY_A}
+
+    def test_compact_rewrites_from_objects(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        store.put(KEY_A, 2)
+        store.put(KEY_B, 3)
+        os.unlink(store.record_path(KEY_B))  # dangling manifest entry
+        assert store.compact() == 1
+        lines = open(store.manifest_path).read().strip().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["key"] == KEY_A
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for n, key in enumerate([KEY_A, KEY_B, KEY_C]):
+            record = store.put(key, n)
+            # Deterministic ordering without sleeping: rewrite created.
+            path = store.record_path(key)
+            blob = open(path, "rb").read()
+            header = json.loads(blob[len(b"repro-store/v1\n"):].split(b"\n")[0])
+            header["created"] = float(n)
+            payload = blob.split(b"\n", 2)[2]
+            open(path, "wb").write(
+                b"repro-store/v1\n"
+                + json.dumps(header, sort_keys=True).encode() + b"\n"
+                + payload
+            )
+        evicted = store.gc(max_records=1)
+        assert evicted == [KEY_A, KEY_B]
+        assert list(store.keys()) == [KEY_C]
+        assert set(store.manifest_entries()) == {KEY_C}
+
+    def test_gc_keep_pins_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        evicted = store.gc(max_records=1, keep={KEY_A, KEY_B})
+        assert evicted == [] and len(store) == 2
+
+    def test_gc_removes_quarantined_files(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(KEY_A, 1)
+        path = store.record_path(KEY_A)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        store.get(KEY_A)  # quarantines
+        store.gc()
+        corrupt = path[: -len(".rec")] + ".corrupt"
+        assert not os.path.exists(corrupt)
+
+    def test_gc_rejects_negative_budgets(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.gc(max_records=-1)
+        with pytest.raises(StoreError):
+            store.gc(max_bytes=-5)
+
+
+class TestRunnerIntegration:
+    def test_runner_round_trips_through_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = ExperimentRunner(store=store)
+        assert runner.map(_square, [2, 3]) == [4, 9]
+        assert runner.cache_misses == 2 and len(store) == 2
+
+        second = ExperimentRunner(store=ResultStore(tmp_path / "store"))
+        assert second.map(_square, [2, 3]) == [4, 9]
+        assert second.cache_hits == 2 and second.cache_misses == 0
+
+    def test_store_and_cache_dir_both_publish(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = ExperimentRunner(
+            store=store, cache_dir=str(tmp_path / "cache")
+        )
+        runner.map(_square, [5])
+        assert len(store) == 1
+        # Local pickles exist alongside the shared records.
+        assert any(
+            name.endswith(".pkl") for name in os.listdir(tmp_path / "cache")
+        )
+
+    def test_report_names_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        runner = ExperimentRunner(store=store)
+        runner.map(_square, [1])
+        assert str(store.root) in runner.render_report()
+
+
+class TestConcurrency:
+    def test_two_processes_same_key_last_write_wins(self, tmp_path):
+        """Racing publishers settle on exactly one verified record whose
+        digest equals one of the two written payloads -- never a torn
+        mix of both."""
+        root = str(tmp_path / "store")
+        ResultStore(root)  # pre-create the marker
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_race_put, args=(root, KEY_A, value, barrier)
+            )
+            for value in ("from-proc-one", "from-proc-two")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(30)
+            assert p.exitcode == 0
+        store = ResultStore(root)
+        hit, value = store.get(KEY_A)
+        assert hit and value in ("from-proc-one", "from-proc-two")
+        digests = {
+            hashlib.sha256(pickle.dumps(v)).hexdigest()
+            for v in ("from-proc-one", "from-proc-two")
+        }
+        assert store.record(KEY_A).digest in digests
+        assert store.record(KEY_A).digest == hashlib.sha256(
+            pickle.dumps(value)
+        ).hexdigest()
+
+    def test_kill_and_resume_dispatched_sweep(self, tmp_path):
+        """SIGKILL a work-stealing sweep mid-run; a fresh dispatcher
+        over the same store finishes it, serving the survivors as hits."""
+        root = str(tmp_path / "store")
+        script = tmp_path / "sweep.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.flow.runner import ExperimentRunner\n"
+            "from repro.serve import WorkStealingDispatcher\n"
+            "from repro.store import ResultStore\n"
+            "from tests.test_store import _slow_square\n"
+            f"store = ResultStore({root!r})\n"
+            "runner = ExperimentRunner(store=store, jobs=2)\n"
+            "disp = WorkStealingDispatcher(runner, workers=2)\n"
+            "print('ready', flush=True)\n"
+            "out = disp.map(_slow_square, list(range(6)), label='sweep')\n"
+            "print('done', out, flush=True)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.getcwd(), "src"),
+                os.getcwd(),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            deadline = time.monotonic() + 60
+            store = ResultStore(root)
+            while time.monotonic() < deadline and len(store) < 2:
+                time.sleep(0.05)
+            assert len(store) >= 2, "sweep produced nothing to kill over"
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(30)
+
+        survivors = len(ResultStore(root))
+        runner = ExperimentRunner(store=ResultStore(root), jobs=2)
+        from repro.serve import WorkStealingDispatcher
+
+        disp = WorkStealingDispatcher(runner, workers=2)
+        out = disp.map(_slow_square, list(range(6)), label="sweep")
+        assert out == [x * x for x in range(6)]
+        assert runner.cache_hits >= survivors >= 2
+        assert runner.cache_hits + runner.cache_misses == 6
+
+
+def _race_put(root, key, value, barrier):
+    store = ResultStore(root)
+    barrier.wait(timeout=30)
+    store.put(key, value)
+
+
+def _slow_square(x):
+    time.sleep(0.15)
+    return x * x
