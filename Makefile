@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke bench-diff serve
+.PHONY: test bench bench-smoke figures report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke chaos-smoke bench-diff serve
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,7 +16,7 @@ bench: figures
 # One tiny point of every bench family through the experiment runner,
 # under a wall-clock budget -- the CI pulse-check for the measurement
 # stack (see benchmarks/smoke.py).
-bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke
+bench-smoke: report-smoke faults-smoke checkpoint-smoke kernel-smoke batch-smoke top-smoke serve-smoke chaos-smoke
 	PYTHONPATH=src $(PYTHON) benchmarks/smoke.py
 	PYTHONPATH=src $(PYTHON) -m repro bench-diff --update \
 		--note "make bench-smoke"
@@ -69,6 +69,15 @@ top-smoke:
 # and /metrics to expose the store/serve series.  See docs/SERVICE.md.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/serve_smoke.py
+
+# Supervision pulse-check: the seeded chaos harness -- a clean
+# work-stealing sweep vs one with injected worker SIGKILLs, SIGSTOP
+# stalls, store corruption and event-log truncation; the result digest
+# must match, the journal must show every point exactly once, and no
+# worker process may survive.  Plus a poison-pill quarantine drill.
+# See docs/RESILIENCE.md and `python -m repro chaos`.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/chaos_smoke.py
 
 # The DSE query service itself (docs/SERVICE.md).
 serve:

@@ -382,6 +382,7 @@ def _serve(
     port: int = 8787,
     workers: int = 2,
     max_inflight: int = 2,
+    request_timeout: float = 120.0,
 ) -> int:
     from repro.serve.http import QueryServer, run_server
     from repro.serve.service import QueryEngine
@@ -392,10 +393,23 @@ def _serve(
     store = ResultStore(store_dir, metrics=metrics)
     engine = QueryEngine(store, workers=workers, metrics=metrics)
     server = QueryServer(
-        engine, host=host, port=port, max_inflight=max_inflight
+        engine, host=host, port=port, max_inflight=max_inflight,
+        request_timeout=request_timeout or None,
     )
     run_server(server)
     return 0
+
+
+def _chaos(
+    out: "str | None",
+    seed: int = 7,
+    points: int = 12,
+    workers: int = 3,
+    keep: bool = False,
+) -> int:
+    from repro.chaos import chaos_main
+
+    return chaos_main(out, seed=seed, points=points, workers=workers, keep=keep)
 
 
 def main(argv=None) -> int:
@@ -416,6 +430,7 @@ def main(argv=None) -> int:
             "top",
             "bench-diff",
             "serve",
+            "chaos",
         ],
         nargs="?",
         default="info",
@@ -613,6 +628,49 @@ def main(argv=None) -> int:
         help="serve: admission control -- at most N farm evaluations in "
         "flight before POST /query answers 429 (default: 2)",
     )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="serve: per-request deadline in seconds; timed-out requests "
+        "answer 504 with the standard error schema (default: 120; "
+        "0 disables)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="chaos: fault-plan seed -- the same seed always injects the "
+        "same kills/stalls/corruptions (default: 7)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=12,
+        metavar="N",
+        help="chaos: sweep points per drill run (default: 12)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="chaos: dispatcher worker processes (default: 3)",
+    )
+    parser.add_argument(
+        "--chaos-dir",
+        default=None,
+        metavar="DIR",
+        help="chaos: scratch directory for the drill stores "
+        "(default: a fresh temp dir, removed afterwards)",
+    )
+    parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="chaos: keep the scratch directory for post-mortem",
+    )
     args = parser.parse_args(argv)
     if args.command == "serve":
         return _serve(
@@ -621,6 +679,15 @@ def main(argv=None) -> int:
             port=args.port,
             workers=args.serve_workers,
             max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+        )
+    if args.command == "chaos":
+        return _chaos(
+            args.chaos_dir,
+            seed=args.seed,
+            points=args.points,
+            workers=args.workers,
+            keep=args.keep,
         )
     if args.command == "figures":
         return _figures(

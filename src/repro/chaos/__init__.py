@@ -1,0 +1,45 @@
+"""Deterministic chaos injection for the DSE service (docs/RESILIENCE.md).
+
+The farm (:class:`repro.serve.WorkStealingDispatcher`) claims to survive
+worker crashes, wedged workers, torn store writes and truncated event
+logs.  This package makes those claims testable *on demand* instead of
+waiting for production to supply the faults:
+
+* :class:`ChaosPlan` (:mod:`repro.chaos.plan`) compiles a **seeded**
+  fault schedule -- which dispatch ordinal gets a SIGKILL, which gets a
+  SIGSTOP stall, which store write is corrupted -- so a chaos run is a
+  reproducible artifact, not a dice roll;
+* :class:`ChaosMonkey` (:mod:`repro.chaos.monkey`) executes the plan
+  through the narrow hook protocol the dispatcher and store expose
+  (``attach_session`` / ``on_dispatch`` / ``tick`` / ``on_store_put``);
+  with no monkey attached those hooks are ``None`` checks and the
+  production paths carry zero fault-injection code;
+* the harness (:mod:`repro.chaos.harness`, ``python -m repro chaos``,
+  ``make chaos-smoke``) runs a clean sweep and a chaotic sweep of the
+  same points and asserts the three supervision invariants: the final
+  result digest is identical, the journal shows every point exactly
+  once (quarantined poison points listed explicitly), and no worker
+  process outlives the sweep.
+"""
+
+from repro.chaos.harness import (
+    ChaosReport,
+    chaos_main,
+    chaos_point,
+    run_chaos,
+    run_poison,
+)
+from repro.chaos.monkey import ChaosMonkey
+from repro.chaos.plan import ACTION_KINDS, ChaosAction, ChaosPlan
+
+__all__ = [
+    "ACTION_KINDS",
+    "ChaosAction",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "ChaosReport",
+    "chaos_main",
+    "chaos_point",
+    "run_chaos",
+    "run_poison",
+]

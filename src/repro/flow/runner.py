@@ -44,6 +44,7 @@ import json
 import multiprocessing
 import os
 import pickle
+import random
 import tempfile
 import time
 import traceback
@@ -60,9 +61,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 CACHE_VERSION = 2
 
 #: Kinds a :class:`PointFailure` can carry: the worker function raised,
-#: exceeded the wall-clock ``timeout``, or the worker process died
-#: without reporting (segfault / OOM kill / SIGKILL).
-FAILURE_KINDS = ("error", "timeout", "crash")
+#: exceeded the wall-clock ``timeout``, the worker process died without
+#: reporting (segfault / OOM kill / SIGKILL), went silent past the
+#: dispatcher's liveness deadline (``stall``: wedged, not dead), or was
+#: quarantined after killing too many consecutive workers
+#: (``poisoned``; see :class:`repro.serve.WorkStealingDispatcher`).
+FAILURE_KINDS = ("error", "timeout", "crash", "stall", "poisoned")
 
 
 def stable_repr(obj: Any) -> str:
@@ -279,6 +283,14 @@ class ExperimentRunner:
         ``backoff * 2**attempt`` seconds.
     backoff:
         Base delay for the exponential retry backoff, in seconds.
+    backoff_jitter:
+        Fractional jitter on every backoff delay: each delay is
+        multiplied by ``1 + backoff_jitter * u`` where ``u`` in
+        ``[0, 1)`` comes from a :class:`random.Random` seeded from the
+        sweep's cache keys (see :meth:`MapSession.backoff_delay`).
+        Deterministic by construction -- two runs of the same plan
+        sleep the same delays in the same order -- so jitter decorrelates
+        retry storms without costing reproducibility.  ``0`` disables.
     on_failure:
         ``"raise"`` (default): after *all* points have finished (so
         completed siblings are cached and journaled), re-raise the
@@ -313,6 +325,7 @@ class ExperimentRunner:
     timeout: Optional[float] = None
     retries: int = 0
     backoff: float = 0.5
+    backoff_jitter: float = 0.1
     on_failure: str = "raise"
     resume: bool = False
     metrics: Optional[Any] = None
@@ -324,6 +337,7 @@ class ExperimentRunner:
     retry_count: int = 0
     timeout_count: int = 0
     crash_count: int = 0
+    stall_count: int = 0
     failure_count: int = 0
     corrupt_cache_entries: int = 0
     resumed_points: int = 0
@@ -340,6 +354,10 @@ class ExperimentRunner:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive seconds, got {self.timeout}")
+        if self.backoff_jitter < 0:
+            raise ValueError(
+                f"backoff_jitter must be >= 0, got {self.backoff_jitter}"
+            )
         if self.on_failure not in ("raise", "record"):
             raise ValueError(
                 f"on_failure must be 'raise' or 'record', got {self.on_failure!r}"
@@ -653,7 +671,7 @@ class ExperimentRunner:
                         f"{type(exc).__name__}: {exc}", exc,
                         traceback.format_exc(),
                     ):
-                        time.sleep(self.backoff * (2 ** (attempts - 1)))
+                        time.sleep(session.backoff_delay(i, attempts))
                         continue
                     break
                 seconds = time.perf_counter() - t0
@@ -683,7 +701,7 @@ class ExperimentRunner:
         def handle_failure(i: int, attempt: int, seconds: float, kind: str,
                            message: str, exc: Optional[BaseException], tb: str) -> None:
             if session.attempt_failed(i, attempt, seconds, kind, message, exc, tb):
-                not_before = time.monotonic() + self.backoff * (2 ** (attempt - 1))
+                not_before = time.monotonic() + session.backoff_delay(i, attempt)
                 delayed.append((not_before, i, attempt + 1))
 
         finish_ok = session.finish_ok
@@ -787,12 +805,12 @@ class ExperimentRunner:
             f"hits={self.cache_hits} misses={self.cache_misses}",
         ]
         if (self.retry_count or self.timeout_count or self.crash_count
-                or self.failure_count or self.corrupt_cache_entries
-                or self.resumed_points):
+                or self.stall_count or self.failure_count
+                or self.corrupt_cache_entries or self.resumed_points):
             lines.append(
                 f"  resilience: retries={self.retry_count} "
                 f"timeouts={self.timeout_count} crashes={self.crash_count} "
-                f"failures={self.failure_count} "
+                f"stalls={self.stall_count} failures={self.failure_count} "
                 f"corrupt_cache_entries={self.corrupt_cache_entries} "
                 f"resumed={self.resumed_points}"
             )
@@ -858,6 +876,15 @@ class MapSession:
         if runner.cache_dir is not None or runner.store is not None:
             runner._check_keyable_fn(fn)
         self.keys = [runner._key(fn, p) for p in points]
+        # Deterministic jitter seed: a function of *what* is being run,
+        # not of wall-clock or pid, so chaos runs and resume replays
+        # reproduce the exact same backoff delays (docs/RESILIENCE.md).
+        self.jitter_seed = int.from_bytes(
+            hashlib.sha256(
+                ("backoff|" + label + "|" + "|".join(self.keys)).encode("utf-8")
+            ).digest()[:8],
+            "big",
+        )
         self.results: List[Any] = [None] * len(points)
         self.manifests: List[Optional[RunManifest]] = [None] * len(points)
         self.tally = {"ok": 0, "failed": 0, "retries": 0}
@@ -882,6 +909,26 @@ class MapSession:
             else:
                 runner.cache_misses += 1
                 self.pending.append(i)
+
+    # -- backoff ----------------------------------------------------------
+    def backoff_delay(self, i: int, attempt: int, kind: str = "retry") -> float:
+        """Seconds to wait before re-attempt ``attempt + 1`` of point
+        ``i`` (or before respawning dispatcher worker slot ``i`` with
+        ``kind="respawn"``): exponential in the attempt number with
+        deterministic multiplicative jitter.
+
+        The jitter stream is keyed by ``(sweep, kind, i, attempt)``
+        alone -- not by which worker failed or when -- so the delay for
+        a given re-attempt is the same in every run of the same plan,
+        regardless of scheduling order.  Two runs of one chaos plan
+        therefore produce identically ordered retry timelines.
+        """
+        base = self.runner.backoff * (2 ** (attempt - 1))
+        jitter = self.runner.backoff_jitter
+        if jitter <= 0 or base <= 0:
+            return base
+        rng = random.Random(f"{self.jitter_seed}|{kind}|{i}|{attempt}")
+        return base * (1.0 + jitter * rng.random())
 
     # -- event stream -----------------------------------------------------
     def events_path(self) -> Optional[str]:
@@ -1016,6 +1063,8 @@ class MapSession:
             runner._count("timeouts", "timeout_count")
         elif kind == "crash":
             runner._count("crashes", "crash_count")
+        elif kind == "stall":
+            runner._count("stalls", "stall_count")
         if attempt <= self.retries:
             runner._count("retries", "retry_count")
             self.tally["retries"] += 1

@@ -20,6 +20,8 @@ Three pieces, layered on the result store (:mod:`repro.store`):
 
 from repro.serve.dispatch import WorkStealingDispatcher
 from repro.serve.service import (
+    CircuitBreaker,
+    FarmUnavailable,
     QueryEngine,
     QueryError,
     QueryResult,
@@ -30,6 +32,8 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "FarmUnavailable",
     "QueryEngine",
     "QueryError",
     "QueryResult",

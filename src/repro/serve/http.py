@@ -26,6 +26,17 @@ per-job ``events.jsonl`` that ``GET /jobs/<id>/events`` tails.
 Evaluations run in a thread-pool executor so the event loop stays
 responsive; the blocking work inside them is the dispatcher's worker
 *processes*, so the GIL is not on the critical path.
+
+Degradation contract (docs/SERVICE.md, "Supervision & chaos testing"):
+every request is bounded by a **per-request deadline**
+(``request_timeout``; ``504`` with ``Retry-After`` past it); the farm
+path sits behind the engine's :class:`~repro.serve.CircuitBreaker`,
+and while the circuit is open a ``POST /query`` with missing points is
+answered **degraded** -- ``200`` built from pure store hits with
+``"degraded": true`` and nearest-cached-neighbor hints -- instead of a
+5xx.  Every error body uses one schema: ``{"error": <slug>, "detail":
+<human text>, "retryable": <bool>}``, with ``429`` / ``504`` carrying
+``Retry-After``.
 """
 
 from __future__ import annotations
@@ -40,6 +51,16 @@ from repro.serve.service import QueryEngine, QueryError, parse_query
 
 #: Request fields that steer the HTTP layer, not the query itself.
 _CONTROL_FIELDS = ("wait",)
+
+#: Methods each fixed route answers; anything else on these paths is a
+#: ``405`` with an ``Allow`` header (``/jobs/...`` is GET-only).
+_ROUTES = {
+    "/": ("GET",),
+    "/index": ("GET",),
+    "/healthz": ("GET",),
+    "/metrics": ("GET",),
+    "/query": ("POST",),
+}
 
 _INDEX = {
     "service": "repro design-space query service",
@@ -63,13 +84,19 @@ class QueryServer:
         port: int = 8787,
         max_inflight: int = 2,
         jobs_dir: Optional[str] = None,
+        request_timeout: Optional[float] = 120.0,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive seconds, got {request_timeout}"
+            )
         self.engine = engine
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
         self.jobs_dir = jobs_dir or os.path.join(
             os.fspath(engine.store.root), "jobs"
         )
@@ -127,10 +154,24 @@ class QueryServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, headers, body = await self._respond(reader)
+            if self.request_timeout is not None:
+                status, headers, body = await asyncio.wait_for(
+                    self._respond(reader), self.request_timeout
+                )
+            else:
+                status, headers, body = await self._respond(reader)
+        except asyncio.TimeoutError:
+            status, headers, body = _error_response(
+                504, "deadline",
+                f"request exceeded the {self.request_timeout:g}s "
+                f"per-request deadline",
+                retryable=True, headers={"Retry-After": "1"},
+            )
+            self._count("http_errors")
         except Exception as exc:  # noqa: BLE001 -- never kill the server
-            status, headers, body = _json_response(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
+            status, headers, body = _error_response(
+                500, "internal", f"{type(exc).__name__}: {exc}",
+                retryable=False,
             )
             self._count("http_errors")
         try:
@@ -151,7 +192,9 @@ class QueryServer:
         try:
             method, path, body = await _read_request(reader)
         except QueryError as exc:
-            return _json_response(400, {"error": str(exc)})
+            return _error_response(
+                400, "bad_request", str(exc), retryable=False
+            )
         self._count("http_requests")
         path, _, query_string = path.partition("?")
 
@@ -166,9 +209,22 @@ class QueryServer:
         if method == "GET" and path.startswith("/jobs/"):
             return self._job(path[len("/jobs/"):], query_string)
         self._count("http_errors")
-        return _json_response(404, {"error": f"no route {method} {path}"})
+        allowed = _ROUTES.get(path)
+        if allowed is None and path.startswith("/jobs/"):
+            allowed = ("GET",)
+        if allowed is not None and method not in allowed:
+            return _error_response(
+                405, "method_not_allowed",
+                f"{method} not allowed on {path} (allow: "
+                f"{', '.join(allowed)})",
+                retryable=False, headers={"Allow": ", ".join(allowed)},
+            )
+        return _error_response(
+            404, "not_found", f"no route {method} {path}", retryable=False
+        )
 
     def _healthz(self) -> Dict[str, Any]:
+        breaker = self.engine.breaker
         return {
             "status": "ok",
             "store": os.fspath(self.engine.store.root),
@@ -177,6 +233,7 @@ class QueryServer:
             "max_inflight": self.max_inflight,
             "queries": self.engine.queries,
             "jobs": len(self.jobs),
+            "circuit": "absent" if breaker is None else breaker.state,
         }
 
     def _metrics(self) -> Tuple[int, Dict[str, str], bytes]:
@@ -194,7 +251,9 @@ class QueryServer:
             doc = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._count("http_errors")
-            return _json_response(400, {"error": f"bad JSON body: {exc}"})
+            return _error_response(
+                400, "bad_request", f"bad JSON body: {exc}", retryable=False
+            )
         wait = False
         if isinstance(doc, dict):
             doc = dict(doc)
@@ -211,23 +270,36 @@ class QueryServer:
                     None, self.engine.query, spec
                 )
                 return _json_response(200, result.as_dict())
+            breaker = self.engine.breaker
+            if breaker is not None and breaker.blocking():
+                # Farm circuit open: a degraded store-only answer (the
+                # engine adds nearest-neighbor hints), not a 5xx -- and
+                # no admission slot burned on a farm that is down.
+                result = await loop.run_in_executor(
+                    None, self.engine.query, spec
+                )
+                return _json_response(200, result.as_dict())
         except QueryError as exc:
             self._count("http_errors")
-            return _json_response(400, {"error": str(exc)})
+            return _error_response(
+                400, "bad_request", str(exc), retryable=False
+            )
 
         if not self._admit():
-            return _json_response(429, {
-                "error": f"farm is full ({self.inflight} in flight, "
-                         f"max {self.max_inflight}); retry later",
-                "missing": len(missing),
-            })
+            return _error_response(
+                429, "farm_full",
+                f"farm is full ({self.inflight} in flight, "
+                f"max {self.max_inflight}); retry later",
+                retryable=True, headers={"Retry-After": "1"},
+            )
         if wait:
             try:
                 result = await self._evaluate(spec)
             except Exception as exc:  # noqa: BLE001 -- report, don't die
                 self._count("http_errors")
-                return _json_response(
-                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                return _error_response(
+                    500, "farm_error", f"{type(exc).__name__}: {exc}",
+                    retryable=True,
                 )
             finally:
                 self._gauge_inflight(-1)
@@ -259,7 +331,9 @@ class QueryServer:
         job = self.jobs.get(job_id)
         if job is None:
             self._count("http_errors")
-            return _json_response(404, {"error": f"no job {job_id!r}"})
+            return _error_response(
+                404, "not_found", f"no job {job_id!r}", retryable=False
+            )
         if tail == "events":
             since = 0
             for part in query_string.split("&"):
@@ -267,8 +341,10 @@ class QueryServer:
                     try:
                         since = max(0, int(part[len("since="):]))
                     except ValueError:
-                        return _json_response(
-                            400, {"error": f"bad since in {query_string!r}"}
+                        return _error_response(
+                            400, "bad_request",
+                            f"bad since in {query_string!r}",
+                            retryable=False,
                         )
             events = _tail_events(job["events_path"], since)
             return _json_response(200, {
@@ -278,7 +354,9 @@ class QueryServer:
                 "next": since + len(events),
             })
         if tail:
-            return _json_response(404, {"error": f"no job endpoint {tail!r}"})
+            return _error_response(
+                404, "not_found", f"no job endpoint {tail!r}", retryable=False
+            )
         doc = {"job": job_id, "status": job["status"],
                "missing": job["missing"]}
         if "result" in job:
@@ -363,7 +441,9 @@ async def _read_request(
 
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -372,6 +452,24 @@ def _json_response(
 ) -> Tuple[int, Dict[str, str], bytes]:
     body = (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
     return status, {"Content-Type": "application/json; charset=utf-8"}, body
+
+
+def _error_response(
+    status: int,
+    error: str,
+    detail: str,
+    retryable: bool,
+    headers: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Every error body, one schema: ``{"error": <short slug>,
+    "detail": <human-readable text>, "retryable": <bool>}``.  Clients
+    branch on ``error``/``retryable``, humans read ``detail``."""
+    status, base_headers, body = _json_response(
+        status, {"error": error, "detail": detail, "retryable": retryable}
+    )
+    if headers:
+        base_headers.update(headers)
+    return status, base_headers, body
 
 
 def _render_response(

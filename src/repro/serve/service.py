@@ -19,8 +19,9 @@ here, and a query evaluated here accelerates everyone's next sweep.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.flow.dse import (
@@ -47,6 +48,108 @@ from repro.store import ResultStore
 
 class QueryError(ValueError):
     """A malformed or unanswerable design-space query."""
+
+
+class FarmUnavailable(RuntimeError):
+    """The farm circuit is open and the caller declined degradation."""
+
+
+class CircuitBreaker:
+    """Classic three-state breaker over the farm dispatch path.
+
+    ``closed`` (healthy): every call is allowed; ``failures``
+    *consecutive* recorded failures trip it ``open``.  ``open``: calls
+    are refused -- the engine answers degraded from the store instead
+    of queueing more work onto a farm that is demonstrably down --
+    until ``cooldown`` seconds pass.  Then the next :meth:`allow`
+    admits exactly one **half-open probe**; its success closes the
+    breaker (``circuit_close`` event), its failure re-opens it for
+    another full cooldown.
+
+    Transitions are emitted as ``circuit_open`` / ``circuit_close``
+    events on the ``repro.telemetry.events`` plane and mirrored into a
+    ``serve.circuit_open`` gauge (1 while open) when ``metrics`` is
+    set.  The clock is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failures: int = 3,
+        cooldown: float = 30.0,
+        metrics: Optional[Any] = None,
+        clock: Any = time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive seconds, got {cooldown}")
+        self.failures = failures
+        self.cooldown = cooldown
+        self.metrics = metrics
+        self.clock = clock
+        self.state = "closed"  # closed | open | half-open
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self._gauge(0)
+
+    def _gauge(self, value: int) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("serve.circuit_open").set(value)
+
+    def blocking(self) -> bool:
+        """True when a farm call would be refused *right now* -- open
+        with the cooldown still running, or already probing half-open.
+        A peek: never consumes the half-open probe slot."""
+        if self.state == "half-open":
+            return True
+        if self.state != "open":
+            return False
+        return self.clock() - self.opened_at < self.cooldown
+
+    def allow(self) -> bool:
+        """May the caller dispatch to the farm?  In ``open`` state with
+        the cooldown elapsed this admits (and consumes) the single
+        half-open probe."""
+        if self.state == "closed":
+            return True
+        if self.state == "open" and self.clock() - self.opened_at >= self.cooldown:
+            self.state = "half-open"
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        from repro.telemetry import events as _events
+
+        if self.state != "closed":
+            self.closes += 1
+            _events.emit("circuit_close", probes=self.probes)
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._gauge(0)
+
+    def record_failure(self) -> None:
+        from repro.telemetry import events as _events
+
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failures
+        ):
+            self.state = "open"
+            self.opened_at = self.clock()
+            self.opens += 1
+            self._gauge(1)
+            _events.emit(
+                "circuit_open", failures=self.consecutive_failures,
+                cooldown=self.cooldown,
+            )
+        elif self.state == "open":
+            self.opened_at = self.clock()
 
 
 #: Applications a query can name ("under this traffic").
@@ -201,7 +304,15 @@ def point_as_dict(p: DesignPoint) -> Dict[str, Any]:
 
 @dataclass
 class QueryResult:
-    """One answered query: the winner, the frontier, and provenance."""
+    """One answered query: the winner, the frontier, and provenance.
+
+    ``degraded`` marks an answer built from store hits alone while the
+    farm circuit was open: the missing points were *not* computed, and
+    ``hints`` names, for each of them, the nearest cached neighbor in
+    the query's own grid (same topology preferred, then closest flit
+    width and buffer depth) -- an honest partial answer instead of a
+    5xx (docs/SERVICE.md, "Supervision & chaos testing").
+    """
 
     spec: QuerySpec
     points: List[DesignPoint]
@@ -211,6 +322,8 @@ class QueryResult:
     store_misses: int
     served_from: str  # "store" (pure hit) or "farm" (misses computed)
     seconds: float
+    degraded: bool = False
+    hints: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -225,6 +338,8 @@ class QueryResult:
             "store_misses": self.store_misses,
             "served_from": self.served_from,
             "seconds": round(self.seconds, 6),
+            "degraded": self.degraded,
+            "hints": self.hints,
         }
 
     def render(self) -> str:
@@ -236,10 +351,13 @@ class QueryResult:
             verdict = "no feasible point meets the constraints"
         else:
             verdict = f"best ({self.spec.objective}): {self.best.row().strip()}"
+        suffix = ""
+        if self.degraded:
+            suffix = " [DEGRADED: farm circuit open, missing points hinted]"
         return (
             f"{table}\n{verdict}\n"
             f"served from {self.served_from}: {self.store_hits} hit(s), "
-            f"{self.store_misses} miss(es), {self.seconds * 1e3:.1f} ms"
+            f"{self.store_misses} miss(es), {self.seconds * 1e3:.1f} ms{suffix}"
         )
 
 
@@ -253,6 +371,11 @@ class QueryEngine:
     the store -- under a :class:`~repro.serve.WorkStealingDispatcher`
     when ``workers > 1`` -- so the misses are computed once, published,
     and journaled like any sweep.
+
+    The farm path is guarded by a :class:`CircuitBreaker` (one is
+    constructed per engine unless injected): consecutive dispatch
+    failures open it, after which misses are answered degraded from the
+    store (see :meth:`query`) until a half-open probe succeeds.
     """
 
     def __init__(
@@ -263,6 +386,7 @@ class QueryEngine:
         retries: int = 0,
         salt: str = "",
         metrics: Optional[Any] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.store = store
         self.workers = workers
@@ -270,8 +394,12 @@ class QueryEngine:
         self.retries = retries
         self.salt = salt
         self.metrics = metrics
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            metrics=metrics
+        )
         self.queries = 0
         self.farm_queries = 0
+        self.degraded_queries = 0
 
     def _count(self, name: str, by: int = 1) -> None:
         if self.metrics is not None and by:
@@ -321,15 +449,81 @@ class QueryEngine:
                 missing.append(i)
         return points, missing
 
+    # -- degraded answers -------------------------------------------------
+    def _grid(self, spec: QuerySpec) -> List["tuple[str, int, int]"]:
+        """The human-readable ``(topology, width, depth)`` triple for
+        every combo index, in :meth:`combos` order."""
+        return [
+            (name, width, depth)
+            for name in spec.topologies
+            for width in spec.flit_widths
+            for depth in spec.buffer_depths
+        ]
+
+    def neighbor_hints(
+        self,
+        spec: QuerySpec,
+        points: List[Optional[DesignPoint]],
+        missing: List[int],
+    ) -> List[Dict[str, Any]]:
+        """For each missing combo, the nearest *cached* combo in this
+        query's own grid: same topology strongly preferred, then
+        smallest log2 flit-width distance plus buffer-depth distance.
+        Ties break on the lower combo index, so hints are
+        deterministic.  With nothing cached at all, ``nearest`` is
+        None."""
+        grid = self._grid(spec)
+        present = [j for j, p in enumerate(points) if p is not None]
+
+        def distance(a: int, b: int) -> float:
+            ta, wa, da = grid[a]
+            tb, wb, db = grid[b]
+            return (
+                (0.0 if ta == tb else 1000.0)
+                + abs(math.log2(wa) - math.log2(wb))
+                + abs(da - db)
+            )
+
+        hints: List[Dict[str, Any]] = []
+        for i in missing:
+            name, width, depth = grid[i]
+            hint: Dict[str, Any] = {
+                "missing": {
+                    "topology": name, "flit_width": width,
+                    "buffer_depth": depth,
+                },
+                "nearest": None,
+            }
+            if present:
+                j = min(present, key=lambda j: (distance(i, j), j))
+                nname, nwidth, ndepth = grid[j]
+                hint["nearest"] = {
+                    "topology": nname, "flit_width": nwidth,
+                    "buffer_depth": ndepth,
+                    "point": point_as_dict(points[j]),
+                }
+            hints.append(hint)
+        return hints
+
     def query(
         self,
         spec: QuerySpec,
         evaluate: bool = True,
         events_path: Optional[str] = None,
+        degrade: bool = True,
     ) -> QueryResult:
         """Answer ``spec``.  With ``evaluate=False`` a query with
         missing points raises :class:`QueryError` instead of computing
-        (the HTTP layer uses this for its admission-control decision)."""
+        (the HTTP layer uses this for its admission-control decision).
+
+        Missing points normally go through the farm, guarded by the
+        circuit breaker: a dispatch failure is recorded, and once the
+        breaker is open further queries are answered **degraded** --
+        store hits only, ``degraded=True``, nearest-cached-neighbor
+        ``hints`` for every missing combo -- instead of queueing work
+        onto a farm that is known to be down.  ``degrade=False`` turns
+        that into a :class:`FarmUnavailable` raise.
+        """
         t0 = time.perf_counter()
         self.queries += 1
         self._count("queries")
@@ -337,30 +531,52 @@ class QueryEngine:
         self._count("query_store_hits", len(points) - len(missing))
         self._count("query_store_misses", len(missing))
         served_from = "store"
+        degraded = False
+        hints: List[Dict[str, Any]] = []
         if missing:
             if not evaluate:
                 raise QueryError(
                     f"{len(missing)} of {len(points)} points are not in the "
                     f"store and evaluate=False"
                 )
-            served_from = "farm"
-            self.farm_queries += 1
-            self._count("farm_queries")
-            runner = self.make_runner(events_path=events_path)
-            mapper: Any = runner
-            if self.workers > 1:
-                from repro.serve.dispatch import WorkStealingDispatcher
+            if self.breaker is not None and not self.breaker.allow():
+                if not degrade:
+                    raise FarmUnavailable(
+                        f"farm circuit is open after "
+                        f"{self.breaker.consecutive_failures} consecutive "
+                        f"failures; retry after the "
+                        f"{self.breaker.cooldown:g}s cooldown"
+                    )
+                degraded = True
+                self.degraded_queries += 1
+                self._count("degraded_queries")
+                hints = self.neighbor_hints(spec, points, missing)
+            else:
+                served_from = "farm"
+                self.farm_queries += 1
+                self._count("farm_queries")
+                runner = self.make_runner(events_path=events_path)
+                mapper: Any = runner
+                if self.workers > 1:
+                    from repro.serve.dispatch import WorkStealingDispatcher
 
-                mapper = WorkStealingDispatcher(runner, workers=self.workers)
-            combos = self.combos(spec)
-            computed = mapper.map(
-                _evaluate_design_point,
-                [combos[i] for i in missing],
-                label="query",
-            )
-            for i, p in zip(missing, computed):
-                points[i] = p
-            self._count("points_computed", len(missing))
+                    mapper = WorkStealingDispatcher(runner, workers=self.workers)
+                combos = self.combos(spec)
+                try:
+                    computed = mapper.map(
+                        _evaluate_design_point,
+                        [combos[i] for i in missing],
+                        label="query",
+                    )
+                except Exception:
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    raise
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                for i, p in zip(missing, computed):
+                    points[i] = p
+                self._count("points_computed", len(missing))
         final: List[DesignPoint] = [p for p in points if p is not None]
         candidates = [p for p in final if spec.meets_constraints(p)]
         cost = OBJECTIVES[spec.objective]
@@ -374,4 +590,6 @@ class QueryEngine:
             store_misses=len(missing),
             served_from=served_from,
             seconds=time.perf_counter() - t0,
+            degraded=degraded,
+            hints=hints,
         )

@@ -119,6 +119,11 @@ class ResultStore:
         self.puts = 0
         self.corrupt_records = 0
         self.conflicts = 0
+        #: Optional fault-injection hook (``repro.chaos.ChaosMonkey``):
+        #: called as ``chaos.on_store_put(store, record)`` after every
+        #: successful publish, so a seeded plan can corrupt the record
+        #: it just wrote or tear the manifest tail.  None in production.
+        self.chaos: Optional[Any] = None
         self._objects = os.path.join(self.root, OBJECTS_DIRNAME)
         os.makedirs(self._objects, exist_ok=True)
         marker = os.path.join(self.root, MARKER_BASENAME)
@@ -196,6 +201,8 @@ class ResultStore:
             raise
         self._count("puts", "puts")
         self._manifest_append(record)
+        if self.chaos is not None:
+            self.chaos.on_store_put(self, record)
         return record
 
     def _manifest_append(self, record: StoreRecord) -> None:

@@ -46,6 +46,17 @@ Event vocabulary (the spans of a campaign):
 ``lane_batch``  one replica lane of a replicated campaign finished:
                 ``lane``, ``replicas``, ``metrics`` (the lane's row),
                 ``digest``
+``worker_stall``  a dispatcher worker went silent past its liveness
+                deadline (wedged, not dead) and was killed: ``label``,
+                ``key``, ``slot``, ``silent_for`` (seconds)
+``poisoned``    a point killed enough consecutive workers to be
+                quarantined instead of retried: ``label``, ``key``,
+                ``worker_kills``
+``circuit_open``  the serve farm circuit breaker opened after
+                consecutive dispatch failures: ``failures``,
+                ``cooldown``
+``circuit_close``  the breaker closed again after a successful
+                half-open probe: ``probes``
 ``run_end``     the ``map()`` returned: ``ok``, ``failed``,
                 ``cached``, ``retries``
 ==============  ====================================================
@@ -69,6 +80,10 @@ EVENT_TYPES = (
     "point_end",
     "checkpoint",
     "lane_batch",
+    "worker_stall",
+    "poisoned",
+    "circuit_open",
+    "circuit_close",
     "run_end",
 )
 
@@ -306,6 +321,10 @@ def replay_summary(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "retries": 0,
         "steals": 0,
         "checkpoints": 0,
+        "stalls": 0,
+        "poisoned": 0,
+        "circuit_opens": 0,
+        "circuit": "closed",
     }
     for rec in records:
         event = rec.get("event")
@@ -337,12 +356,23 @@ def replay_summary(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
             )
             cached = bool(rec.get("cached"))
             status = str(rec.get("status", "ok"))
+            if not cached and status == "failed" and rec.get("kind") == "poisoned":
+                status = "poisoned"
             entry["status"] = "cached" if cached else status
             entry["seconds"] = rec.get("seconds")
             key = "cached" if cached else ("ok" if status == "ok" else "failed")
             summary[key] = int(summary[key]) + 1
         elif event == "steal":
             summary["steals"] = int(summary["steals"]) + 1
+        elif event == "worker_stall":
+            summary["stalls"] = int(summary["stalls"]) + 1
+        elif event == "poisoned":
+            summary["poisoned"] = int(summary["poisoned"]) + 1
+        elif event == "circuit_open":
+            summary["circuit_opens"] = int(summary["circuit_opens"]) + 1
+            summary["circuit"] = "open"
+        elif event == "circuit_close":
+            summary["circuit"] = "closed"
         elif event == "checkpoint":
             summary["checkpoints"] = int(summary["checkpoints"]) + 1
         elif event == "lane_batch":

@@ -98,6 +98,11 @@ def summary_registry(summary: Dict[str, Any]) -> MetricsRegistry:
     reg.counter("top.points_cached").inc(int(summary.get("cached", 0)))
     reg.counter("top.retries").inc(int(summary.get("retries", 0)))
     reg.counter("top.checkpoints").inc(int(summary.get("checkpoints", 0)))
+    reg.counter("top.worker_stalls").inc(int(summary.get("stalls", 0)))
+    reg.counter("top.points_poisoned").inc(int(summary.get("poisoned", 0)))
+    reg.gauge("top.circuit_open").set(
+        1 if summary.get("circuit") == "open" else 0
+    )
     reg.gauge("top.points_running").set(len(summary.get("running", [])))
     expected = summary.get("points_expected")
     reg.gauge("top.points_expected").set(
@@ -152,6 +157,14 @@ def render_dashboard(
         f"checkpoints: {summary.get('checkpoints', 0)}   "
         f"cache-hit rate: {hit_rate:.0%}"
     )
+    stalls = int(summary.get("stalls", 0) or 0)
+    poisoned = int(summary.get("poisoned", 0) or 0)
+    circuit = summary.get("circuit", "closed")
+    if stalls or poisoned or circuit != "closed":
+        lines.append(
+            f"supervision: {stalls} worker stall(s), {poisoned} poisoned "
+            f"point(s), farm circuit {circuit}"
+        )
     eta = eta_seconds(summary)
     if eta is not None:
         lines.append(f"ETA: ~{eta:.1f}s for {total - done} outstanding point(s)")

@@ -1,6 +1,8 @@
 """WorkStealingDispatcher: scheduling on top of the runner's session."""
 
+import multiprocessing
 import os
+import signal
 import time
 
 import pytest
@@ -110,21 +112,24 @@ class TestFailureMachinery:
         assert runner.retry_count == 1
 
     def test_timeout_kills_and_respawns_worker(self):
-        runner = ExperimentRunner(on_failure="record")
+        runner = ExperimentRunner(on_failure="record", retries=1, backoff=0.01)
         disp = WorkStealingDispatcher(runner, workers=2)
         out = disp.map(_hang, [1], timeout=0.5)
         assert out == [None]
-        assert disp.worker_restarts == 1
-        assert runner.timeout_count == 1
+        # The first timeout kills the worker; the retry needs a revived
+        # slot, so by the time the sweep ends at least one respawn ran.
+        assert disp.worker_restarts >= 1
+        assert runner.timeout_count == 2
         assert "wall-clock" in runner.failures[0].message
 
     def test_worker_crash_is_charged_to_its_point_only(self):
-        runner = ExperimentRunner(on_failure="record")
+        runner = ExperimentRunner(on_failure="record", retries=1, backoff=0.01)
         disp = WorkStealingDispatcher(runner, workers=2)
         out = disp.map(_die, [1])
         assert out == [None]
-        assert disp.worker_restarts >= 1 and runner.crash_count == 1
+        assert disp.worker_restarts >= 1 and runner.crash_count == 2
         assert "exitcode 17" in runner.failures[0].message
+        assert disp.poisoned == 0  # streak 2 < default threshold 3
 
     def test_crash_does_not_poison_other_points(self):
         runner = ExperimentRunner(on_failure="record")
@@ -133,6 +138,141 @@ class TestFailureMachinery:
         out = disp.map(_die_on_three, [1, 2, 3, 4, 5])
         assert out == [1, 4, None, 16, 25]
         assert len(runner.failures) == 1
+
+
+class _StallFirstDispatch:
+    """Minimal chaos hook: SIGSTOP the first dispatched worker."""
+
+    def __init__(self):
+        self.stalled_pid = None
+
+    def attach_session(self, session):
+        pass
+
+    def tick(self):
+        pass
+
+    def on_store_put(self, store, record):
+        pass
+
+    def on_dispatch(self, worker, i, attempt, ordinal):
+        if self.stalled_pid is None:
+            self.stalled_pid = worker.proc.pid
+            os.kill(self.stalled_pid, signal.SIGSTOP)
+
+
+class TestSupervision:
+    def test_knob_validation(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ValueError, match="heartbeat"):
+            WorkStealingDispatcher(runner, heartbeat=0.0)
+        with pytest.raises(ValueError, match="liveness"):
+            WorkStealingDispatcher(runner, heartbeat=1.0, liveness=0.5)
+        with pytest.raises(ValueError, match="poison_threshold"):
+            WorkStealingDispatcher(runner, poison_threshold=0)
+        with pytest.raises(ValueError, match="restart_budget"):
+            WorkStealingDispatcher(runner, restart_budget=-1)
+
+    def test_stalled_worker_detected_killed_and_point_retried(self):
+        """A SIGSTOPped worker stops heartbeating; the liveness deadline
+        must reclaim it and re-attempt only the point it held."""
+        runner = ExperimentRunner(retries=1, backoff=0.01)
+        disp = WorkStealingDispatcher(
+            runner, workers=2, heartbeat=0.05, liveness=0.5,
+            chaos=_StallFirstDispatch(),
+        )
+        collector = install_sink(EventCollector())
+        try:
+            out = disp.map(_square, [5], label="stall")
+        finally:
+            remove_sink(collector)
+        assert out == [25]
+        assert disp.stalls == 1
+        assert runner.stall_count == 1
+        stall_events = [
+            r for r in collector.records if r["event"] == "worker_stall"
+        ]
+        assert len(stall_events) == 1
+        assert stall_events[0]["label"] == "stall[0]"
+        assert stall_events[0]["silent_for"] >= 0.5
+        assert "slot" in stall_events[0]
+
+    def test_heartbeats_keep_slow_point_alive(self):
+        """A healthy-but-slow point must never trip the liveness check:
+        heartbeats arrive every 0.05s while it sleeps past the 0.4s
+        deadline."""
+        runner = ExperimentRunner()
+        disp = WorkStealingDispatcher(
+            runner, workers=1, heartbeat=0.05, liveness=0.4
+        )
+        assert disp.map(_sleep_then_square, [3]) == [9]
+        assert disp.stalls == 0
+
+    def test_poison_point_quarantined_after_consecutive_kills(self):
+        runner = ExperimentRunner(
+            on_failure="record", retries=5, backoff=0.01
+        )
+        disp = WorkStealingDispatcher(
+            runner, workers=2, poison_threshold=2
+        )
+        collector = install_sink(EventCollector())
+        try:
+            out = disp.map(_die, [1], label="pill")
+        finally:
+            remove_sink(collector)
+        assert out == [None]
+        assert disp.poisoned == 1
+        assert runner.failures[0].kind == "poisoned"
+        assert "quarantined" in runner.failures[0].message
+        poisoned_events = [
+            r for r in collector.records if r["event"] == "poisoned"
+        ]
+        assert len(poisoned_events) == 1
+        assert poisoned_events[0]["worker_kills"] == 2
+
+    def test_clean_error_breaks_the_kill_streak(self):
+        """Ordinary exceptions are not poison: the worker survives and
+        reports, so the streak resets and retries run their course."""
+        runner = ExperimentRunner(
+            on_failure="record", retries=3, backoff=0.01
+        )
+        disp = WorkStealingDispatcher(runner, workers=2, poison_threshold=2)
+        out = disp.map(_boom, [1])
+        assert out == [None]
+        assert disp.poisoned == 0
+        assert runner.failures[0].kind == "error"
+
+    def test_restart_budget_exhaustion_fails_queued_points_explicitly(self):
+        runner = ExperimentRunner(on_failure="record")
+        disp = WorkStealingDispatcher(
+            runner, workers=2, restart_budget=0
+        )
+        out = disp.map(_die, [1, 2, 3, 4])
+        assert out == [None] * 4
+        assert disp.worker_restarts == 0
+        assert len(runner.failures) == 4
+        budget_failures = [
+            f for f in runner.failures if "restart budget" in f.message
+        ]
+        assert len(budget_failures) == 2  # the two never-dispatched points
+
+    def test_no_orphan_workers_after_raising_sweep(self):
+        """Satellite: the deferred first-failure re-raise (or a ^C) must
+        tear down every worker process on its way out."""
+        before = {c.pid for c in multiprocessing.active_children()}
+        disp = WorkStealingDispatcher(ExperimentRunner(), workers=3)
+        with pytest.raises(ValueError, match="exploded"):
+            disp.map(_boom, [1, 2, 3, 4, 5, 6])
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = [
+                c for c in multiprocessing.active_children()
+                if c.pid not in before and c.is_alive()
+            ]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert leaked == []
 
 
 class TestStealing:
@@ -174,4 +314,9 @@ def _die_on_three(x):
 def _slow_even(x):
     if x % 2 == 0:
         time.sleep(0.2)
+    return x * x
+
+
+def _sleep_then_square(x):
+    time.sleep(0.8)
     return x * x

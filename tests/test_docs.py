@@ -183,6 +183,13 @@ class TestResilienceDoc:
             # campaign harness, CLI, CI
             "CampaignSpec", "run_campaign", "python -m repro faults",
             "faults-smoke", "bench_s3_resilience",
+            # fleet supervision + chaos harness
+            "heartbeat", "liveness", "worker_stall", "restart_budget",
+            "poison_threshold", "poisoned", "CircuitBreaker",
+            "circuit_open", "degraded", "ChaosPlan", "ChaosMonkey",
+            "corrupt_record", "tear_manifest", "truncate_events",
+            "exactly once", "orphan", "python -m repro chaos",
+            "chaos-smoke",
         ):
             assert term in text, term
 
@@ -323,8 +330,15 @@ class TestServiceDoc:
             "QuerySpec", "parse_query", "QueryEngine",
             "mesh-5x5", "min_freq_mhz", "objective",
             "served_from", "wait",
+            # supervision + graceful degradation
+            "heartbeat", "liveness", "worker_stall", "restart_budget",
+            "poison_threshold", "poisoned", "CircuitBreaker",
+            "circuit_open", "circuit_close", "serve.circuit_open",
+            "\"degraded\": true", "hints", "FarmUnavailable",
+            "Retry-After", "retryable", "method_not_allowed",
+            "--request-timeout", "RESILIENCE.md",
             # smoke coverage
-            "serve-smoke", "bench-smoke",
+            "serve-smoke", "bench-smoke", "chaos-smoke",
         ):
             assert term in text, term
 

@@ -207,6 +207,80 @@ class TestEventWriterReader:
         assert read_events(path) == GOLDEN_RECORDS[:2]
 
 
+class TestConcurrentTailing:
+    """Satellite: cursor-based tailing under a live writer.
+
+    The HTTP job endpoint's :func:`repro.serve.http._tail_events` must
+    never re-deliver or drop a record as the writer races it: a torn
+    mid-record tail is withheld (not skipped!), and delivered exactly
+    once when the writer finishes the line.
+    """
+
+    def _record(self, seq):
+        return {"schema": EVENTS_SCHEMA, "event": "checkpoint",
+                "seq": seq, "pid": 1, "t": float(seq)}
+
+    def test_torn_tail_is_withheld_then_delivered_once(self, tmp_path):
+        from repro.serve.http import _tail_events
+
+        path = str(tmp_path / "events.jsonl")
+        full = [json.dumps(self._record(s)) for s in range(1, 5)]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(full[:3]) + "\n")
+            fh.write(full[3][:10])  # the writer is mid-line
+        got = _tail_events(path, 0)
+        assert [r["seq"] for r in got] == [1, 2, 3]
+        cursor = 0 + len(got)  # exactly the contract the endpoint uses
+        assert _tail_events(path, cursor) == []  # torn: not yet
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(full[3][10:] + "\n")  # the writer finishes the line
+        got2 = _tail_events(path, cursor)
+        assert [r["seq"] for r in got2] == [4]
+        assert _tail_events(path, cursor + len(got2)) == []
+
+    def test_cursor_walk_covers_stream_exactly_once(self, tmp_path):
+        """A reader polling with ``since=next`` while a writer appends
+        sees every record exactly once, in order."""
+        import threading
+        import time as _time
+
+        from repro.serve.http import _tail_events
+
+        path = str(tmp_path / "events.jsonl")
+        total = 60
+
+        def writer():
+            with EventWriter(path) as w:
+                for s in range(1, total + 1):
+                    w.write(self._record(s))
+                    if s % 7 == 0:
+                        _time.sleep(0.005)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        seen = []
+        cursor = 0
+        deadline = _time.monotonic() + 30
+        while len(seen) < total and _time.monotonic() < deadline:
+            batch = _tail_events(path, cursor)
+            cursor += len(batch)
+            seen.extend(batch)
+        t.join(10)
+        assert [r["seq"] for r in seen] == list(range(1, total + 1))
+
+    def test_read_events_sees_a_clean_prefix_mid_write(self, tmp_path):
+        """``read_events`` under a concurrent writer returns complete
+        records only -- always a prefix, never a mangled line."""
+        path = str(tmp_path / "events.jsonl")
+        records = [self._record(s) for s in range(1, 4)]
+        with open(path, "w", encoding="utf-8") as fh:
+            for r in records:
+                fh.write(json.dumps(r) + "\n")
+            fh.write('{"schema": "repro.telemetry.events/v1", "se')
+        assert read_events(path) == records
+        validate_events(read_events(path))
+
+
 # ---------------------------------------------------------------------------
 # validation
 # ---------------------------------------------------------------------------

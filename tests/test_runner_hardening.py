@@ -141,6 +141,75 @@ class TestRetries:
         assert runner.retry_count == 1
 
 
+class TestDeterministicBackoffJitter:
+    """Satellite: retry/backoff jitter is seeded from the sweep itself,
+    so identical plans produce identical retry timelines."""
+
+    def _session(self, backoff=0.5, jitter=0.1, label="jit", points=(1, 2, 3)):
+        from repro.flow.runner import MapSession
+
+        runner = ExperimentRunner(
+            retries=3, backoff=backoff, backoff_jitter=jitter
+        )
+        return MapSession(runner, _behave, list(points), label)
+
+    def test_same_plan_gives_identical_delays(self):
+        grid = [(i, a, k) for i in range(3) for a in (1, 2, 3)
+                for k in ("retry", "respawn")]
+        one = [self._session().backoff_delay(i, a, k) for i, a, k in grid]
+        two = [self._session().backoff_delay(i, a, k) for i, a, k in grid]
+        assert one == two
+
+    def test_jitter_varies_by_point_attempt_and_kind(self):
+        s = self._session()
+        assert s.backoff_delay(0, 1) != s.backoff_delay(1, 1)
+        assert s.backoff_delay(0, 1, "retry") != s.backoff_delay(0, 1, "respawn")
+        # Exponential base still dominates: attempt 2 > attempt 1.
+        assert s.backoff_delay(0, 2) > s.backoff_delay(0, 1)
+
+    def test_delays_bounded_by_jitter_fraction(self):
+        s = self._session(backoff=0.5, jitter=0.1)
+        for a in (1, 2, 3):
+            base = 0.5 * (2 ** (a - 1))
+            d = s.backoff_delay(0, a)
+            assert base <= d <= base * 1.1
+
+    def test_zero_jitter_is_pure_exponential(self):
+        s = self._session(jitter=0.0)
+        assert s.backoff_delay(5, 2) == 1.0
+
+    def test_different_sweeps_get_different_jitter(self):
+        a = self._session(label="sweep-a")
+        b = self._session(label="sweep-b")
+        assert a.backoff_delay(0, 1) != b.backoff_delay(0, 1)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            ExperimentRunner(backoff_jitter=-0.1)
+
+    def test_two_identical_runs_emit_identical_retry_order(self, tmp_path):
+        """End to end: same plan, two fresh runs, byte-comparable retry
+        sequences in events.jsonl."""
+        from repro.telemetry.events import read_events
+
+        def trail(run_dir, marker_dir):
+            os.makedirs(marker_dir)
+            runner = ExperimentRunner(
+                jobs=1, retries=1, backoff=0.01,
+                events_path=os.path.join(run_dir, "events.jsonl"),
+            )
+            points = [(os.path.join(marker_dir, f"m{k}"), k) for k in range(4)]
+            runner.map(_flaky, points, label="det")
+            return [
+                (r["event"], r["label"], r.get("attempt"))
+                for r in read_events(runner.events_path)
+                if r["event"] in ("retry", "point_start", "point_end")
+            ]
+        first = trail(str(tmp_path / "a"), str(tmp_path / "a-markers"))
+        second = trail(str(tmp_path / "b"), str(tmp_path / "b-markers"))
+        assert first and first == second
+
+
 class TestJournalAndResume:
     def test_kill_and_resume_loses_zero_completed_points(self, tmp_path):
         # "Kill" = a batch where one point crashes hard; the survivors
